@@ -1,0 +1,297 @@
+(* ddm: command-line driver for the distributed decision-making library.
+
+   Subcommands:
+     oblivious  - optimal oblivious algorithm for an instance (Theorem 4.3)
+     threshold  - certified optimal single-threshold algorithm (Section 5.2)
+     curve      - CSV of the winning-probability curve beta |-> P_n(beta)
+     eval       - evaluate a given rule exactly and by Monte-Carlo
+     simulate   - run the distributed system and report outcome statistics
+     tradeoff   - oblivious-vs-threshold table across n *)
+
+open Cmdliner
+
+let delta_conv =
+  let parse s =
+    try Ok (Rat.of_string s) with Invalid_argument _ | Failure _ | Division_by_zero -> Error (`Msg (Printf.sprintf "bad rational %S" s))
+  in
+  Arg.conv (parse, Rat.pp)
+
+let n_arg =
+  Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Number of players.")
+
+let delta_arg =
+  Arg.(
+    value
+    & opt (some delta_conv) None
+    & info [ "d"; "delta" ] ~docv:"DELTA"
+        ~doc:"Bin capacity as a rational, e.g. 1, 4/3, 0.75. Defaults to n/3.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let samples_arg =
+  Arg.(value & opt int 200_000 & info [ "samples" ] ~docv:"K" ~doc:"Monte-Carlo plays.")
+
+let resolve_delta n = function Some d -> d | None -> Rat.of_ints n 3
+
+(* ------------------------- oblivious ------------------------- *)
+
+let oblivious_cmd =
+  let run n delta =
+    let delta = resolve_delta n delta in
+    let p = Oblivious.winning_probability_uniform_rat ~n ~delta in
+    Printf.printf "instance: n = %d, delta = %s\n" n (Rat.to_string delta);
+    Printf.printf "optimal oblivious algorithm: alpha_i = 1/2 for all players (Theorem 4.3)\n";
+    Printf.printf "winning probability: %s = %.10f\n" (Rat.to_string p) (Rat.to_float p);
+    let rho = Oblivious.rho_condition_poly ~n ~delta in
+    Printf.printf "stationarity polynomial in rho = alpha/(1-alpha): %s\n"
+      (Poly.to_string ~var:"rho" rho);
+    Printf.printf "rho = 1 is a root (checks Theorem 4.3): %b\n"
+      (Rat.is_zero (Poly.eval rho Rat.one))
+  in
+  Cmd.v
+    (Cmd.info "oblivious" ~doc:"Optimal oblivious algorithm for an instance (Theorem 4.3).")
+    Term.(const run $ n_arg $ delta_arg)
+
+(* ------------------------- threshold ------------------------- *)
+
+let threshold_cmd =
+  let run n delta show_pieces =
+    let delta = resolve_delta n delta in
+    Printf.printf "instance: n = %d, delta = %s\n" n (Rat.to_string delta);
+    let curve = Symbolic.sym_threshold_curve ~n ~delta in
+    if show_pieces then begin
+      Printf.printf "exact piecewise polynomial P(beta):\n";
+      List.iter
+        (fun (p : Piecewise.piece) ->
+          Printf.printf "  [%s, %s]: %s\n" (Rat.to_string p.lo) (Rat.to_string p.hi)
+            (Poly.to_string ~var:"b" p.poly))
+        (Piecewise.pieces curve)
+    end;
+    let res = Piecewise.maximize curve in
+    Printf.printf "certified optimum: beta* = %.12f, P* = %.12f\n"
+      (Rat.to_float res.Piecewise.argmax)
+      (Rat.to_float res.Piecewise.value);
+    List.iter
+      (fun (s : Piecewise.stationary) ->
+        let m = Rat.mid s.location.Roots.lo s.location.Roots.hi in
+        Printf.printf "stationary point near %.8f: %s = 0 (P = %.8f)\n" (Rat.to_float m)
+          (Poly.to_string ~var:"b" (Symbolic.monic_condition s.condition))
+          (Rat.to_float s.value))
+      res.stationaries
+  in
+  let pieces_arg =
+    Arg.(value & flag & info [ "pieces" ] ~doc:"Also print the exact piecewise polynomial.")
+  in
+  Cmd.v
+    (Cmd.info "threshold"
+       ~doc:"Certified optimal single-threshold algorithm (Theorem 5.1 / Section 5.2).")
+    Term.(const run $ n_arg $ delta_arg $ pieces_arg)
+
+(* ------------------------- certify ------------------------- *)
+
+let certify_cmd =
+  let run n delta digits =
+    let delta = resolve_delta n delta in
+    Printf.printf "instance: n = %d, delta = %s\n" n (Rat.to_string delta);
+    let res = Symbolic.optimal_sym_threshold_certified ~n ~delta () in
+    Printf.printf "beta* = %s  (certified to %d decimals)\n"
+      (Alg.to_decimal_string ~digits res.Piecewise.arg)
+      digits;
+    (match Alg.to_rat_opt res.Piecewise.arg with
+    | Some r -> Printf.printf "beta* is exactly the rational %s\n" (Rat.to_string r)
+    | None ->
+      Printf.printf "beta* is algebraic: root of %s\n"
+        (Poly.to_string ~var:"b" (Alg.polynomial res.Piecewise.arg));
+      let approx =
+        Rat.best_approximation ~max_den:(Bigint.of_int 100000)
+          (Rat.of_float (Alg.to_float res.Piecewise.arg))
+      in
+      Printf.printf "best rational approximation (den <= 10^5): %s\n" (Rat.to_string approx));
+    let v = res.Piecewise.value_enclosure in
+    Printf.printf "P* in [%s,\n      %s]\n"
+      (Rat.to_decimal_string ~digits v.Interval.lo)
+      (Rat.to_decimal_string ~digits v.Interval.hi)
+  in
+  let digits_arg =
+    Arg.(value & opt int 30 & info [ "digits" ] ~docv:"D" ~doc:"Certified decimal digits.")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Certified optimal threshold as an exact algebraic number, with interval-arithmetic \
+          value enclosure (no floating point in the comparisons).")
+    Term.(const run $ n_arg $ delta_arg $ digits_arg)
+
+(* ------------------------- curve ------------------------- *)
+
+let curve_cmd =
+  let run n delta steps =
+    let delta = resolve_delta n delta in
+    let deltaf = Rat.to_float delta in
+    Printf.printf "beta,P\n";
+    for i = 0 to steps do
+      let beta = float_of_int i /. float_of_int steps in
+      Printf.printf "%.6f,%.10f\n" beta (Threshold.winning_probability_sym ~n ~delta:deltaf beta)
+    done
+  in
+  let steps_arg =
+    Arg.(value & opt int 100 & info [ "steps" ] ~docv:"S" ~doc:"Grid resolution.")
+  in
+  Cmd.v
+    (Cmd.info "curve" ~doc:"CSV of the symmetric-threshold winning-probability curve.")
+    Term.(const run $ n_arg $ delta_arg $ steps_arg)
+
+(* ------------------------- eval ------------------------- *)
+
+let params_arg =
+  Arg.(
+    value
+    & opt (list float) []
+    & info [ "params" ] ~docv:"P1,P2,..."
+        ~doc:"Per-player parameters (threshold or bin-0 probability). A single value is \
+              replicated to all players.")
+
+let rule_arg =
+  Arg.(
+    value
+    & opt (enum [ ("threshold", `Threshold); ("oblivious", `Oblivious) ]) `Threshold
+    & info [ "rule" ] ~docv:"RULE" ~doc:"Rule family: threshold or oblivious.")
+
+let expand_params n = function
+  | [] -> Array.make n 0.5
+  | [ v ] -> Array.make n v
+  | l when List.length l = n -> Array.of_list l
+  | _ -> failwith "params length must be 1 or n"
+
+let eval_cmd =
+  let run n delta rule params samples seed =
+    let delta = resolve_delta n delta in
+    let deltaf = Rat.to_float delta in
+    let p = expand_params n params in
+    let exact, model_rule =
+      match rule with
+      | `Threshold -> (Threshold.winning_probability ~delta:deltaf p, Model.Single_threshold p)
+      | `Oblivious -> (Oblivious.winning_probability ~delta:deltaf p, Model.Oblivious p)
+    in
+    Printf.printf "instance: n = %d, delta = %s\n" n (Rat.to_string delta);
+    Printf.printf "exact winning probability (Theorem %s): %.10f\n"
+      (match rule with `Threshold -> "5.1" | `Oblivious -> "4.1")
+      exact;
+    let rng = Rng.create ~seed in
+    let inst = Model.instance ~n ~delta:deltaf in
+    let est = Mc_eval.winning_probability ~rng ~samples inst model_rule in
+    Printf.printf "Monte-Carlo (%d plays): %s\n" samples (Format.asprintf "%a" Mc.pp_estimate est);
+    Printf.printf "closed form inside 95%% interval: %b\n" (Mc.agrees est exact)
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate a decision rule exactly and by simulation.")
+    Term.(const run $ n_arg $ delta_arg $ rule_arg $ params_arg $ samples_arg $ seed_arg)
+
+(* ------------------------- simulate ------------------------- *)
+
+let simulate_cmd =
+  let run n delta rule params samples seed =
+    let delta = Rat.to_float (resolve_delta n delta) in
+    let p = expand_params n params in
+    let protocol =
+      match rule with
+      | `Threshold -> Dist_protocol.single_threshold p
+      | `Oblivious -> Dist_protocol.oblivious p
+    in
+    let rng = Rng.create ~seed in
+    let pattern = Comm_pattern.none ~n in
+    let wins = ref 0 and over0 = ref 0 and over1 = ref 0 in
+    let load_stats = ref Stats.empty in
+    for _ = 1 to samples do
+      let o = Engine.run_once rng ~delta pattern protocol in
+      if o.Engine.win then incr wins;
+      if o.Engine.load0 > delta then incr over0;
+      if o.Engine.load1 > delta then incr over1;
+      load_stats := Stats.add !load_stats (Float.max o.Engine.load0 o.Engine.load1)
+    done;
+    let f c = float_of_int c /. float_of_int samples in
+    Printf.printf "protocol: %s over %s\n" (Dist_protocol.name protocol)
+      (Comm_pattern.to_string pattern);
+    Printf.printf "plays: %d   P(win) = %.6f\n" samples (f !wins);
+    Printf.printf "overflow rates: bin0 %.6f, bin1 %.6f\n" (f !over0) (f !over1);
+    Printf.printf "max-load: mean %.4f, stddev %.4f\n" (Stats.mean !load_stats)
+      (Stats.stddev !load_stats)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the distributed system and report outcome statistics.")
+    Term.(const run $ n_arg $ delta_arg $ rule_arg $ params_arg $ samples_arg $ seed_arg)
+
+(* ------------------------- banded ------------------------- *)
+
+let banded_cmd =
+  let run n delta params samples seed =
+    let delta_r = resolve_delta n delta in
+    let delta = Rat.to_float delta_r in
+    let rule, p =
+      match params with
+      | [ t1; t2; q ] ->
+        let r = { Banded.t1; t2; q } in
+        Banded.validate r;
+        (r, Banded.winning_probability ~n ~delta r)
+      | [] ->
+        Printf.printf "optimizing the banded family (exact evaluator, multistart)...\n";
+        Banded.optimum ~n ~delta ()
+      | _ -> failwith "banded expects --params t1,t2,q (or nothing, to optimize)"
+    in
+    Printf.printf "instance: n = %d, delta = %s\n" n (Rat.to_string delta_r);
+    Printf.printf "banded rule: bin 0 w.p. 1 below %.6f, w.p. %.6f up to %.6f, 0 above\n"
+      rule.Banded.t1 rule.Banded.q rule.Banded.t2;
+    Printf.printf "exact winning probability: %.10f\n" p;
+    Printf.printf "  (coin: %.10f, best single threshold: %.10f)\n"
+      (Oblivious.winning_probability_uniform ~n ~delta)
+      (snd (Threshold.optimum_sym ~n ~delta ()));
+    let rng = Rng.create ~seed in
+    let inst = Model.instance ~n ~delta in
+    let est = Mc_eval.winning_probability ~rng ~samples inst (Banded.to_rule rule) in
+    Printf.printf "Monte-Carlo (%d plays): %s\n" samples (Format.asprintf "%a" Mc.pp_estimate est)
+  in
+  Cmd.v
+    (Cmd.info "banded"
+       ~doc:
+         "Evaluate or optimize banded randomized rules (the family behind experiment X3), \
+          with the exact mixture-of-uniforms evaluator.")
+    Term.(const run $ n_arg $ delta_arg $ params_arg $ samples_arg $ seed_arg)
+
+(* ------------------------- tradeoff ------------------------- *)
+
+let tradeoff_cmd =
+  let run max_n =
+    Printf.printf "%-4s %-8s %-14s %-14s %-12s %s\n" "n" "delta" "P_oblivious" "P_threshold"
+      "beta*" "winner";
+    for n = 2 to max_n do
+      let delta = Rat.of_ints n 3 in
+      let obl = Oblivious.winning_probability_uniform_rat ~n ~delta in
+      let res = Symbolic.optimal_sym_threshold ~n ~delta () in
+      Printf.printf "%-4d %-8s %-14.8f %-14.8f %-12.8f %s\n" n (Rat.to_string delta)
+        (Rat.to_float obl)
+        (Rat.to_float res.Piecewise.value)
+        (Rat.to_float res.Piecewise.argmax)
+        (if Rat.compare res.Piecewise.value obl > 0 then "threshold" else "oblivious")
+    done
+  in
+  let max_n_arg =
+    Arg.(value & opt int 8 & info [ "max-n" ] ~docv:"N" ~doc:"Largest system size.")
+  in
+  Cmd.v
+    (Cmd.info "tradeoff" ~doc:"Oblivious vs single-threshold optimum across system sizes.")
+    Term.(const run $ max_n_arg)
+
+let () =
+  let info =
+    Cmd.info "ddm" ~version:"1.0.0"
+      ~doc:
+        "Optimal distributed decision-making with no communication \
+         (Georgiades-Mavronicolas-Spirakis, FCT 1999)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            oblivious_cmd; threshold_cmd; certify_cmd; curve_cmd; eval_cmd; banded_cmd;
+            simulate_cmd; tradeoff_cmd;
+          ]))

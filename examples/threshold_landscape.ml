@@ -1,0 +1,65 @@
+(* The data behind the paper's Figures 1-2: winning probability of the
+   symmetric single-threshold algorithm as a function of the common
+   threshold beta, for n = 3, 4, 5 — printed both as a table and as an
+   ASCII plot, with the certified optimum of each curve marked.
+
+   Run with: dune exec examples/threshold_landscape.exe [-- delta_num delta_den]
+   (default: the paper's scaled capacity delta = n/3 per curve; passing an
+   explicit rational uses that fixed delta for all three curves, e.g.
+   "-- 1 1" reproduces Figure 1's fixed delta = 1 family). *)
+
+let () =
+  let fixed_delta =
+    if Array.length Sys.argv >= 3 then
+      Some (Rat.of_ints (int_of_string Sys.argv.(1)) (int_of_string Sys.argv.(2)))
+    else None
+  in
+  let ns = [ 3; 4; 5 ] in
+  let delta_of n = match fixed_delta with Some d -> d | None -> Rat.of_ints n 3 in
+
+  (* Table of the curves. *)
+  Printf.printf "beta    ";
+  List.iter (fun n -> Printf.printf "P_%d(beta)[d=%s]  " n (Rat.to_string (delta_of n))) ns;
+  print_newline ();
+  let steps = 20 in
+  for i = 0 to steps do
+    let beta = float_of_int i /. float_of_int steps in
+    Printf.printf "%-7.2f " beta;
+    List.iter
+      (fun n ->
+        let p = Threshold.winning_probability_sym ~n ~delta:(Rat.to_float (delta_of n)) beta in
+        Printf.printf "%-17.6f " p)
+      ns;
+    print_newline ()
+  done;
+
+  (* Certified optima. *)
+  print_newline ();
+  List.iter
+    (fun n ->
+      let delta = delta_of n in
+      let res = Symbolic.optimal_sym_threshold ~n ~delta () in
+      Printf.printf "n=%d delta=%-5s  beta* = %.8f  P* = %.8f\n" n (Rat.to_string delta)
+        (Rat.to_float res.Piecewise.argmax)
+        (Rat.to_float res.Piecewise.value))
+    ns;
+
+  (* ASCII rendering of the first curve family. *)
+  print_newline ();
+  let width = 61 and height = 18 in
+  let grid = Array.make_matrix height width ' ' in
+  List.iteri
+    (fun ci n ->
+      let delta = Rat.to_float (delta_of n) in
+      let mark = Char.chr (Char.code '3' + ci) in
+      for col = 0 to width - 1 do
+        let beta = float_of_int col /. float_of_int (width - 1) in
+        let p = Threshold.winning_probability_sym ~n ~delta beta in
+        let row = height - 1 - int_of_float (p *. float_of_int (height - 1) /. 0.7) in
+        let row = max 0 (min (height - 1) row) in
+        grid.(row).(col) <- mark
+      done)
+    ns;
+  Printf.printf "P(beta) up to 0.7, beta from 0 to 1 (curve label = n):\n";
+  Array.iter (fun row -> print_string "  |"; Array.iter print_char row; print_newline ()) grid;
+  Printf.printf "  +%s\n" (String.make width '-')

@@ -1,0 +1,4 @@
+let winning_probability ~rng ~samples inst rule =
+  Mc.probability ~rng ~samples (fun rng -> (Model.play rng inst rule).Model.win)
+
+let check_against = Mc.agrees

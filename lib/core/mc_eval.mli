@@ -1,0 +1,10 @@
+(** Monte-Carlo evaluation of decision rules: plays the one-shot game many
+    times and estimates the winning probability. Used to cross-validate the
+    closed forms of Theorems 4.1, 4.3 and 5.1 on arbitrary parameter
+    vectors. *)
+
+val winning_probability :
+  rng:Rng.t -> samples:int -> Model.instance -> Model.rule -> Mc.estimate
+
+val check_against : Mc.estimate -> float -> bool
+(** Alias of {!Mc.agrees}. *)

@@ -1,0 +1,31 @@
+type view = { me : int; own : float; others : (int * float) list }
+
+let view_input v j =
+  if j = v.me then Some v.own else List.assoc_opt j v.others
+
+type t = { name : string; decide : view -> float; deterministic : bool }
+
+let name t = t.name
+let decide t view = t.decide view
+let is_deterministic t = t.deterministic
+let make ?(deterministic = false) ~name decide = { name; decide; deterministic }
+
+let oblivious alphas =
+  make ~name:"oblivious" (fun v -> alphas.(v.me))
+
+let fair_coin ~n = { (oblivious (Array.make n 0.5)) with name = "fair-coin" }
+
+let single_threshold a =
+  make ~deterministic:true ~name:"single-threshold" (fun v ->
+    if v.own <= a.(v.me) then 1. else 0.)
+
+let common_threshold ~n beta =
+  { (single_threshold (Array.make n beta)) with
+    name = Printf.sprintf "common-threshold(%.4f)" beta }
+
+let weighted_threshold ~weights ~thresholds =
+  make ~deterministic:true ~name:"weighted-threshold" (fun v ->
+    let w = weights.(v.me) in
+    let acc = ref (w.(v.me) *. v.own) in
+    List.iter (fun (j, x) -> acc := !acc +. (w.(j) *. x)) v.others;
+    if !acc <= thresholds.(v.me) then 1. else 0.)

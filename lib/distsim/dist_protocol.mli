@@ -1,0 +1,47 @@
+(** Decision protocols over a communication pattern.
+
+    A protocol assigns each player a local decision rule mapping its {e view}
+    — its own input plus the inputs revealed by the pattern — to a
+    probability of choosing bin 0. The constructors cover the families
+    studied in the literature: oblivious coin flips, single thresholds on the
+    own input (the paper's Section 5), and the weighted-average-threshold
+    family of Papadimitriou-Yannakakis. *)
+
+type view = {
+  me : int;  (** the deciding player *)
+  own : float;  (** its private input *)
+  others : (int * float) list;  (** revealed inputs, sorted by index *)
+}
+
+val view_input : view -> int -> float option
+(** The input of a given player if visible in this view (including [me]). *)
+
+type t
+
+val name : t -> string
+val decide : t -> view -> float
+(** Probability of choosing bin 0. *)
+
+val is_deterministic : t -> bool
+(** [true] when every decision probability is 0 or 1; enables the exact grid
+    integrator in {!Engine}. *)
+
+val make : ?deterministic:bool -> name:string -> (view -> float) -> t
+
+(** {1 Standard families} *)
+
+val oblivious : float array -> t
+(** Player [i] picks bin 0 with probability [alpha.(i)], ignoring the view. *)
+
+val fair_coin : n:int -> t
+(** The optimal oblivious protocol (Theorem 4.3): every [alpha_i = 1/2]. *)
+
+val single_threshold : float array -> t
+(** Player [i] picks bin 0 iff [own <= a.(i)]. *)
+
+val common_threshold : n:int -> float -> t
+
+val weighted_threshold : weights:float array array -> thresholds:float array -> t
+(** Player [i] picks bin 0 iff [Σ_j w.(i).(j) · x_j <= thresholds.(i)],
+    summing only over inputs visible in the view ([x_i] itself included).
+    This is the Papadimitriou-Yannakakis protocol shape. *)

@@ -1,0 +1,91 @@
+type outcome = {
+  inputs : float array;
+  decisions : int array;
+  load0 : float;
+  load1 : float;
+  win : bool;
+}
+
+let views pattern inputs =
+  let n = Comm_pattern.n pattern in
+  Array.init n (fun i ->
+    {
+      Dist_protocol.me = i;
+      own = inputs.(i);
+      others = List.map (fun j -> (j, inputs.(j))) (Comm_pattern.sees pattern i);
+    })
+
+let loads inputs decisions =
+  let load0 = ref 0. and load1 = ref 0. in
+  Array.iteri
+    (fun i d -> if d = 0 then load0 := !load0 +. inputs.(i) else load1 := !load1 +. inputs.(i))
+    decisions;
+  (!load0, !load1)
+
+let run_once ?(sampler = Rng.float01) rng ~delta pattern protocol =
+  let n = Comm_pattern.n pattern in
+  let inputs = Array.init n (fun _ -> sampler rng) in
+  let vs = views pattern inputs in
+  let decisions =
+    Array.map
+      (fun v ->
+        let p = Dist_protocol.decide protocol v in
+        if p >= 1. then 0 else if p <= 0. then 1 else if Rng.bernoulli rng p then 0 else 1)
+      vs
+  in
+  let load0, load1 = loads inputs decisions in
+  { inputs; decisions; load0; load1; win = load0 <= delta && load1 <= delta }
+
+let win_probability_mc ?sampler ~rng ~samples ~delta pattern protocol =
+  Mc.probability ~rng ~samples (fun rng -> (run_once ?sampler rng ~delta pattern protocol).win)
+
+let win_probability_given ~delta pattern protocol inputs =
+  let n = Comm_pattern.n pattern in
+  let vs = views pattern inputs in
+  (* clamp: custom rules may return values slightly outside [0,1] *)
+  let probs =
+    Array.map (fun v -> Float.min 1. (Float.max 0. (Dist_protocol.decide protocol v))) vs
+  in
+  let total = Array.fold_left ( +. ) 0. inputs in
+  (* win <=> total - delta <= load0 <= delta *)
+  let rec go i load0 weight =
+    if weight = 0. then 0.
+    else if i = n then if load0 <= delta && total -. load0 <= delta then weight else 0.
+    else begin
+      let p = probs.(i) in
+      let w0 = if p > 0. then go (i + 1) (load0 +. inputs.(i)) (weight *. p) else 0. in
+      let w1 = if p < 1. then go (i + 1) load0 (weight *. (1. -. p)) else 0. in
+      w0 +. w1
+    end
+  in
+  go 0 0. 1.
+
+let win_probability_grid ?(points = 64) ~delta pattern protocol =
+  let n = Comm_pattern.n pattern in
+  if points < 2 then invalid_arg "Engine.win_probability_grid: points";
+  let cells = Combinat.int_pow (float_of_int points) n in
+  if cells > 1e8 then invalid_arg "Engine.win_probability_grid: grid too large";
+  let inputs = Array.make n 0. in
+  let acc = ref 0. in
+  let rec loop dim =
+    if dim = n then acc := !acc +. win_probability_given ~delta pattern protocol inputs
+    else
+      for k = 0 to points - 1 do
+        inputs.(dim) <- (float_of_int k +. 0.5) /. float_of_int points;
+        loop (dim + 1)
+      done
+  in
+  loop 0;
+  !acc /. cells
+
+let optimize_family ?points ~delta pattern ~family ~x0 ~bounds () =
+  let clamp x =
+    Array.mapi
+      (fun i v ->
+        let lo, hi = bounds.(i) in
+        Float.min hi (Float.max lo v))
+      x
+  in
+  let f x = win_probability_grid ?points ~delta pattern (family (clamp x)) in
+  let best_x, best_v = Opt.nelder_mead ~f ~x0 ~scale:0.15 ~tol:1e-10 () in
+  (clamp best_x, best_v)

@@ -1,0 +1,52 @@
+(** Execution engine for the distributed load-balancing game.
+
+    Runs protocols over a {!Comm_pattern} either by Monte-Carlo simulation of
+    actual distributed executions or by deterministic numeric integration
+    over the input cube (midpoint rule), and provides a protocol-family
+    optimizer used by the communication-trade-off experiment (X1). *)
+
+type outcome = {
+  inputs : float array;
+  decisions : int array;
+  load0 : float;
+  load1 : float;
+  win : bool;
+}
+
+val views : Comm_pattern.t -> float array -> Dist_protocol.view array
+(** The per-player views induced by a pattern on a given input vector. *)
+
+val run_once :
+  ?sampler:(Rng.t -> float) -> Rng.t -> delta:float -> Comm_pattern.t -> Dist_protocol.t -> outcome
+(** One distributed play. [sampler] draws each player's private input
+    (default [Rng.float01], the paper's U[0,1] model); supplying another
+    sampler exercises the paper's Section 6 direction of "more realistic
+    assumptions on the distribution of inputs". *)
+
+val win_probability_mc :
+  ?sampler:(Rng.t -> float) ->
+  rng:Rng.t -> samples:int -> delta:float -> Comm_pattern.t -> Dist_protocol.t -> Mc.estimate
+
+val win_probability_given : delta:float -> Comm_pattern.t -> Dist_protocol.t -> float array -> float
+(** Exact win probability conditioned on the input vector: enumerates the
+    [2^n] decision vectors with their probabilities (single branch for
+    deterministic protocols). *)
+
+val win_probability_grid :
+  ?points:int -> delta:float -> Comm_pattern.t -> Dist_protocol.t -> float
+(** Midpoint-rule integration of {!win_probability_given} over [[0,1]^n];
+    default 64 points per dimension. Deterministic, so usable inside
+    optimizers. @raise Invalid_argument when [points^n] exceeds [10^8]. *)
+
+val optimize_family :
+  ?points:int ->
+  delta:float ->
+  Comm_pattern.t ->
+  family:(float array -> Dist_protocol.t) ->
+  x0:float array ->
+  bounds:(float * float) array ->
+  unit ->
+  float array * float
+(** Nelder-Mead (with bound clamping) over a parametric protocol family,
+    scoring each candidate with {!win_probability_grid}. Returns the best
+    parameters and their win probability. *)

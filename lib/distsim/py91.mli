@@ -1,0 +1,35 @@
+(** The Papadimitriou-Yannakakis three-player ladder (PODC 1991).
+
+    PY91 asked how the best winning probability at [n = 3, δ = 1] grows with
+    the information available to the players; the reproduced paper settles
+    the bottom rung (no communication) exactly. This module packages one
+    protocol per rung so the ladder can be run end to end on the {!Engine}:
+
+    - {!no_communication}: the optimal single common threshold
+      [β* = 1 − √(1/7)], winning probability [1/6 + 1/√7 ≈ 0.5446]
+      (certified by [Symbolic] in [ddm_core]; the constant is inlined here
+      to keep the dependency direction substrate → core);
+    - {!one_broadcast}: player 0 announces its input; an engineered
+      asymmetric response achieving [≈ 0.66] (a numerically optimized
+      weighted-threshold family — PY91's exact optimum for this rung is not
+      in the available text);
+    - {!full_information}: everyone sees everything; the greedy
+      largest-first partition is optimal for three players, achieving the
+      feasibility bound [3/4]. *)
+
+val delta : float
+(** The PY91 capacity, [1.]. *)
+
+val no_communication : Comm_pattern.t * Dist_protocol.t
+val one_broadcast : Comm_pattern.t * Dist_protocol.t
+val full_information : Comm_pattern.t * Dist_protocol.t
+
+val ladder : (string * (Comm_pattern.t * Dist_protocol.t) * float) list
+(** All rungs with their expected winning probabilities (closed form for the
+    first and last, measured for the middle one). *)
+
+val expected_no_communication : float
+(** [1/6 + 1/√7]. *)
+
+val expected_full_information : float
+(** [3/4]: the probability that a feasible partition exists. *)

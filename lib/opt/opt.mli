@@ -1,0 +1,48 @@
+(** Numeric optimizers.
+
+    The exact (Sturm-based) pipeline in [ddm_core] certifies optima of the
+    symmetric problems; these numeric routines handle the cases with no
+    symbolic form — non-symmetric threshold vectors and the communication-
+    pattern extension protocols. All routines {e maximize}. *)
+
+(** {1 One-dimensional} *)
+
+val grid_max : f:(float -> float) -> lo:float -> hi:float -> points:int -> float * float
+(** Evaluates on an inclusive uniform grid; returns [(argmax, max)]. *)
+
+val golden_section :
+  f:(float -> float) -> lo:float -> hi:float -> ?tol:float -> ?max_iter:int -> unit -> float * float
+(** Golden-section search; assumes unimodality on [[lo, hi]].
+    Default [tol = 1e-12]. *)
+
+val grid_then_golden :
+  f:(float -> float) -> lo:float -> hi:float -> ?points:int -> ?tol:float -> unit -> float * float
+(** Coarse grid to bracket the global maximum of a possibly multimodal
+    function, then golden-section polish inside the best bracket. *)
+
+val bisect_root : f:(float -> float) -> lo:float -> hi:float -> ?tol:float -> unit -> float
+(** Root of a sign-changing continuous function.
+    @raise Invalid_argument when [f lo] and [f hi] have the same sign. *)
+
+(** {1 Multi-dimensional} *)
+
+val nelder_mead :
+  f:(float array -> float) ->
+  x0:float array ->
+  ?scale:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  unit ->
+  float array * float
+(** Downhill-simplex maximization from [x0]; [scale] sets the initial simplex
+    edge (default [0.1]). Returns [(argmax, max)]. *)
+
+val coordinate_ascent :
+  f:(float array -> float) ->
+  x0:float array ->
+  bounds:(float * float) array ->
+  ?sweeps:int ->
+  ?tol:float ->
+  unit ->
+  float array * float
+(** Cyclic 1-D [grid_then_golden] over each coordinate within its bounds. *)

@@ -1,0 +1,132 @@
+(* Sturm-sequence real-root isolation over exact rationals. *)
+
+type enclosure = { lo : Rat.t; hi : Rat.t }
+
+let squarefree p =
+  if Poly.degree p <= 0 then p
+  else begin
+    let g = Poly.gcd p (Poly.derivative p) in
+    if Poly.degree g <= 0 then p else fst (Poly.divmod p g)
+  end
+
+let sturm_chain p =
+  if Poly.is_zero p then []
+  else begin
+    let rec go acc p0 p1 =
+      if Poly.is_zero p1 then List.rev acc
+      else begin
+        let r = Poly.neg (snd (Poly.divmod p0 p1)) in
+        go (p1 :: acc) p1 r
+      end
+    in
+    go [ p ] p (Poly.derivative p)
+  end
+
+let sign_variations chain v =
+  let signs = List.filter_map (fun p -> let s = Rat.sign (Poly.eval p v) in if s = 0 then None else Some s) chain in
+  let rec count = function
+    | a :: (b :: _ as rest) -> (if a <> b then 1 else 0) + count rest
+    | _ -> 0
+  in
+  count signs
+
+(* Remove rational roots sitting exactly at [v] by dividing out (x - v). *)
+let rec strip_root p v =
+  if not (Poly.is_zero p) && Rat.is_zero (Poly.eval p v) then
+    strip_root (fst (Poly.divmod p (Poly.linear (Rat.neg v) Rat.one))) v
+  else p
+
+let count_roots p ~lo ~hi =
+  if Rat.compare lo hi > 0 then invalid_arg "Roots.count_roots: empty interval";
+  let p = squarefree p in
+  if Poly.degree p <= 0 then 0
+  else begin
+    let at_lo = if Rat.is_zero (Poly.eval p lo) then 1 else 0 in
+    let at_hi = if (not (Rat.equal lo hi)) && Rat.is_zero (Poly.eval p hi) then 1 else 0 in
+    let p' = strip_root (strip_root p lo) hi in
+    if Poly.degree p' <= 0 || Rat.equal lo hi then at_lo + at_hi
+    else begin
+      let chain = sturm_chain p' in
+      at_lo + at_hi + (sign_variations chain lo - sign_variations chain hi)
+    end
+  end
+
+let rec isolate p ~lo ~hi =
+  let p = squarefree p in
+  if Poly.degree p <= 0 then []
+  else begin
+    let exact = ref [] in
+    let p = ref p in
+    if Rat.is_zero (Poly.eval !p lo) then begin
+      exact := { lo; hi = lo } :: !exact;
+      p := strip_root !p lo
+    end;
+    if (not (Rat.equal lo hi)) && Rat.is_zero (Poly.eval !p hi) then begin
+      exact := { lo = hi; hi } :: !exact;
+      p := strip_root !p hi
+    end;
+    let p = !p in
+    let chain = sturm_chain p in
+    let count a b = sign_variations chain a - sign_variations chain b in
+    (* Recursively bisect until each sub-interval holds at most one root.
+       Exact rational roots discovered at bisection points are recorded as
+       degenerate enclosures. *)
+    let rec go a b acc =
+      let c = count a b in
+      if c = 0 then acc
+      else if c = 1 then { lo = a; hi = b } :: acc
+      else begin
+        let m = Rat.mid a b in
+        if Rat.is_zero (Poly.eval p m) then begin
+          let stripped = strip_root p m in
+          let chain' = sturm_chain stripped in
+          let count' a b = sign_variations chain' a - sign_variations chain' b in
+          let rec go' a b acc =
+            let c = count' a b in
+            if c = 0 then acc
+            else if c = 1 then { lo = a; hi = b } :: acc
+            else begin
+              let m = Rat.mid a b in
+              (* [stripped] has no rational root at any midpoint we will hit
+                 with positive probability; if it does, recurse again. *)
+              if Rat.is_zero (Poly.eval stripped m) then
+                List.rev_append (isolate stripped ~lo:a ~hi:b) acc
+              else go' m b (go' a m acc)
+            end
+          in
+          { lo = m; hi = m } :: go' m b (go' a m acc)
+        end
+        else go m b (go a m acc)
+      end
+    in
+    let open_intervals = go lo hi [] in
+    List.sort (fun e1 e2 -> Rat.compare e1.lo e2.lo) (!exact @ open_intervals)
+  end
+
+let refine p e ~eps =
+  if Rat.equal e.lo e.hi then e
+  else begin
+    let p = squarefree p in
+    let p = strip_root (strip_root p e.lo) e.hi in
+    let s_lo = Rat.sign (Poly.eval p e.lo) in
+    (* A single simple root in the open interval implies a sign change. *)
+    let rec go lo hi =
+      if Rat.compare (Rat.sub hi lo) eps < 0 then { lo; hi }
+      else begin
+        let m = Rat.mid lo hi in
+        let s_m = Rat.sign (Poly.eval p m) in
+        if s_m = 0 then { lo = m; hi = m }
+        else if s_m = s_lo then go m hi
+        else go lo m
+      end
+    in
+    go e.lo e.hi
+  end
+
+let default_eps = Rat.of_string "1/1000000000000000000000000000000"
+
+let roots_in ?(eps = default_eps) p ~lo ~hi =
+  List.map (fun e -> refine p e ~eps) (isolate p ~lo ~hi)
+
+let root_floats p ~lo ~hi =
+  List.map (fun e -> Rat.to_float (Rat.mid e.lo e.hi)) (roots_in p ~lo ~hi)

@@ -1,0 +1,34 @@
+(** Real-root isolation and refinement for {!Poly} via Sturm sequences.
+
+    All bounds are exact rationals, so root enclosures are certified: each
+    returned interval contains exactly one real root of the (square-free part
+    of the) polynomial. *)
+
+type enclosure = { lo : Rat.t; hi : Rat.t }
+(** A root enclosure; [lo = hi] denotes an exact rational root. *)
+
+val squarefree : Poly.t -> Poly.t
+(** [p / gcd (p, p')]: same real roots, all simple. *)
+
+val sturm_chain : Poly.t -> Poly.t list
+(** Sturm sequence of a square-free polynomial. *)
+
+val sign_variations : Poly.t list -> Rat.t -> int
+
+val count_roots : Poly.t -> lo:Rat.t -> hi:Rat.t -> int
+(** Number of distinct real roots in the closed interval [[lo, hi]]. *)
+
+val isolate : Poly.t -> lo:Rat.t -> hi:Rat.t -> enclosure list
+(** Disjoint enclosures, one per distinct real root in [[lo, hi]], in
+    increasing order. *)
+
+val refine : Poly.t -> enclosure -> eps:Rat.t -> enclosure
+(** Shrinks an enclosure produced by {!isolate} below width [eps] by sign
+    bisection. *)
+
+val roots_in : ?eps:Rat.t -> Poly.t -> lo:Rat.t -> hi:Rat.t -> enclosure list
+(** [isolate] followed by [refine]; default [eps = 10^-30]. *)
+
+val root_floats : Poly.t -> lo:Rat.t -> hi:Rat.t -> float list
+(** Double-precision approximations of all distinct real roots in the
+    interval. *)

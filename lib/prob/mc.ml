@@ -1,0 +1,33 @@
+type estimate = { mean : float; stderr : float; ci95 : float * float; samples : int }
+
+let pp_estimate fmt e =
+  let lo, hi = e.ci95 in
+  Format.fprintf fmt "%.6f ± %.6f [%.6f, %.6f] (n=%d)" e.mean e.stderr lo hi e.samples
+
+let probability ~rng ~samples f =
+  if samples <= 0 then invalid_arg "Mc.probability: samples";
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    if f rng then incr hits
+  done;
+  let n = float_of_int samples in
+  let p = float_of_int !hits /. n in
+  let stderr = sqrt (p *. (1. -. p) /. n) in
+  let ci95 = Stats.wilson_interval ~successes:!hits ~trials:samples () in
+  { mean = p; stderr; ci95; samples }
+
+let expectation ~rng ~samples f =
+  if samples <= 0 then invalid_arg "Mc.expectation: samples";
+  let acc = ref Stats.empty in
+  for _ = 1 to samples do
+    acc := Stats.add !acc (f rng)
+  done;
+  let mean = Stats.mean !acc in
+  let stderr = Stats.stderr_of_mean !acc in
+  { mean; stderr; ci95 = (mean -. (1.96 *. stderr), mean +. (1.96 *. stderr)); samples }
+
+let agrees e v =
+  let lo, hi = e.ci95 in
+  (* Widen by one extra stderr so a 1-in-20 flake does not fail the suite. *)
+  let pad = Float.max e.stderr 1e-12 in
+  v >= lo -. pad && v <= hi +. pad

@@ -1,0 +1,21 @@
+(** Monte-Carlo estimation harness: every closed-form result of the paper is
+    cross-checked against simulation through these entry points. *)
+
+type estimate = {
+  mean : float;
+  stderr : float;
+  ci95 : float * float;
+  samples : int;
+}
+
+val pp_estimate : Format.formatter -> estimate -> unit
+
+val probability : rng:Rng.t -> samples:int -> (Rng.t -> bool) -> estimate
+(** Bernoulli estimation with a Wilson 95% interval. *)
+
+val expectation : rng:Rng.t -> samples:int -> (Rng.t -> float) -> estimate
+(** Sample-mean estimation with a normal-approximation 95% interval. *)
+
+val agrees : estimate -> float -> bool
+(** [agrees e v]: does [v] fall within the (slightly widened) 95% interval?
+    Used by tests comparing closed forms against simulation. *)

@@ -1,0 +1,57 @@
+(* xoshiro256++ (Blackman & Vigna), seeded via splitmix64. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next_int64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let float01 t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let uniform t a b = a +. ((b -. a) *. float01 t)
+
+let int_below t n =
+  if n <= 0 then invalid_arg "Rng.int_below";
+  (* Rejection sampling over the top 62 bits to avoid modulo bias. *)
+  let mask_bits = 62 in
+  let bound = 1 lsl (mask_bits - 1) in
+  if n > bound then invalid_arg "Rng.int_below: n too large";
+  let limit = bound - (bound mod n) in
+  let rec go () =
+    let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) (64 - (mask_bits - 1))) in
+    if v < limit then v mod n else go ()
+  in
+  go ()
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bernoulli t p = float01 t < p

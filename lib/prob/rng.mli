@@ -1,0 +1,27 @@
+(** Deterministic, seedable pseudo-random number generator.
+
+    Implementation: xoshiro256++ seeded through splitmix64, written from
+    scratch (the reproduction avoids [Random] so that every experiment is
+    bit-reproducible across OCaml versions). *)
+
+type t
+
+val create : seed:int -> t
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** Raw 64-bit output. *)
+
+val float01 : t -> float
+(** Uniform in [[0, 1)], 53 random bits. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t a b]: uniform in [[a, b)]. *)
+
+val int_below : t -> int -> int
+(** Uniform in [[0, n)], unbiased (rejection sampling). [n > 0]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)

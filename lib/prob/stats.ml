@@ -1,0 +1,53 @@
+type acc = { n : int; mean : float; m2 : float }
+
+let empty = { n = 0; mean = 0.; m2 = 0. }
+
+let add acc x =
+  let n = acc.n + 1 in
+  let delta = x -. acc.mean in
+  let mean = acc.mean +. (delta /. float_of_int n) in
+  let m2 = acc.m2 +. (delta *. (x -. mean)) in
+  { n; mean; m2 }
+
+let count acc = acc.n
+let mean acc = acc.mean
+let variance acc = if acc.n < 2 then 0. else acc.m2 /. float_of_int (acc.n - 1)
+let stddev acc = sqrt (variance acc)
+
+let stderr_of_mean acc =
+  if acc.n = 0 then 0. else stddev acc /. sqrt (float_of_int acc.n)
+
+let of_array a = Array.fold_left add empty a
+
+let wilson_interval ?(z = 1.96) ~successes ~trials () =
+  if trials <= 0 then invalid_arg "Stats.wilson_interval: trials";
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1. +. (z2 /. n) in
+  let center = (p +. (z2 /. (2. *. n))) /. denom in
+  let half = z /. denom *. sqrt ((p *. (1. -. p) /. n) +. (z2 /. (4. *. n *. n))) in
+  (Float.max 0. (center -. half), Float.min 1. (center +. half))
+
+type histogram = { lo : float; hi : float; counts : int array; total : int }
+
+let histogram ~bins ~lo ~hi samples =
+  if bins <= 0 || hi <= lo then invalid_arg "Stats.histogram";
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let i = int_of_float (float_of_int bins *. (x -. lo) /. (hi -. lo)) in
+      let i = if i < 0 then 0 else if i >= bins then bins - 1 else i in
+      counts.(i) <- counts.(i) + 1)
+    samples;
+  { lo; hi; counts; total = Array.length samples }
+
+let histogram_density h i =
+  let bins = Array.length h.counts in
+  let bin_width = (h.hi -. h.lo) /. float_of_int bins in
+  float_of_int h.counts.(i) /. (float_of_int h.total *. bin_width)
+
+let bin_center h i =
+  let bins = Array.length h.counts in
+  let bin_width = (h.hi -. h.lo) /. float_of_int bins in
+  h.lo +. ((float_of_int i +. 0.5) *. bin_width)

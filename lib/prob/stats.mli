@@ -1,0 +1,37 @@
+(** Streaming statistics and confidence intervals for the Monte-Carlo
+    cross-validation harness. *)
+
+(** {1 Online moments (Welford)} *)
+
+type acc
+
+val empty : acc
+val add : acc -> float -> acc
+val count : acc -> int
+val mean : acc -> float
+val variance : acc -> float
+(** Unbiased sample variance; [0.] with fewer than two observations. *)
+
+val stddev : acc -> float
+val stderr_of_mean : acc -> float
+
+val of_array : float array -> acc
+
+(** {1 Proportion confidence intervals} *)
+
+val wilson_interval : ?z:float -> successes:int -> trials:int -> unit -> float * float
+(** Wilson score interval for a binomial proportion; default [z = 1.96]
+    (95%). *)
+
+(** {1 Histogram} *)
+
+type histogram = { lo : float; hi : float; counts : int array; total : int }
+
+val histogram : bins:int -> lo:float -> hi:float -> float array -> histogram
+(** Out-of-range samples are clipped into the edge bins. *)
+
+val histogram_density : histogram -> int -> float
+(** Empirical density of bin [i] (normalized so the histogram integrates
+    to one). *)
+
+val bin_center : histogram -> int -> float

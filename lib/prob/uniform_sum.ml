@@ -1,0 +1,170 @@
+(* Inclusion-exclusion laws for sums of independent uniforms
+   (paper Lemmas 2.4, 2.5, 2.7 and Corollary 2.6). *)
+
+let clamp01 v = if v < 0. then 0. else if v > 1. then 1. else v
+
+(* ---------------- exact versions ---------------- *)
+
+let check_nonneg name a =
+  Array.iter (fun w -> if Rat.sign w < 0 then invalid_arg ("Uniform_sum." ^ name ^ ": negative width")) a
+
+let cdf ~widths t =
+  check_nonneg "cdf" widths;
+  let widths = Array.of_list (List.filter (fun w -> Rat.sign w > 0) (Array.to_list widths)) in
+  let m = Array.length widths in
+  if m = 0 then if Rat.sign t >= 0 then Rat.one else Rat.zero
+  else if Rat.sign t <= 0 then Rat.zero
+  else begin
+    let sum =
+      Combinat.fold_subset_sums_gen ~add:Rat.add ~sub:Rat.sub ~zero:Rat.zero widths ~init:Rat.zero
+        ~f:(fun acc ~size ~sum ->
+          if Rat.compare sum t < 0 then begin
+            let term = Rat.pow (Rat.sub t sum) m in
+            if size land 1 = 0 then Rat.add acc term else Rat.sub acc term
+          end
+          else acc)
+    in
+    let denom = Rat.mul (Rat.of_bigint (Combinat.factorial m)) (Array.fold_left Rat.mul Rat.one widths) in
+    Rat.div sum denom
+  end
+
+let pdf ~widths t =
+  check_nonneg "pdf" widths;
+  let widths = Array.of_list (List.filter (fun w -> Rat.sign w > 0) (Array.to_list widths)) in
+  let m = Array.length widths in
+  if m = 0 then invalid_arg "Uniform_sum.pdf: degenerate distribution";
+  if Rat.sign t <= 0 then Rat.zero
+  else begin
+    let sum =
+      Combinat.fold_subset_sums_gen ~add:Rat.add ~sub:Rat.sub ~zero:Rat.zero widths ~init:Rat.zero
+        ~f:(fun acc ~size ~sum ->
+          if Rat.compare sum t < 0 then begin
+            let term = Rat.pow (Rat.sub t sum) (m - 1) in
+            if size land 1 = 0 then Rat.add acc term else Rat.sub acc term
+          end
+          else acc)
+    in
+    let denom =
+      Rat.mul (Rat.of_bigint (Combinat.factorial (m - 1))) (Array.fold_left Rat.mul Rat.one widths)
+    in
+    Rat.div sum denom
+  end
+
+let cdf_shifted ~lowers t =
+  Array.iter
+    (fun l ->
+      if Rat.sign l < 0 || Rat.compare l Rat.one > 0 then
+        invalid_arg "Uniform_sum.cdf_shifted: lower bound outside [0,1]")
+    lowers;
+  let m = Array.length lowers in
+  let widths = Array.map (fun l -> Rat.sub Rat.one l) lowers in
+  if Array.for_all Rat.is_zero widths then
+    (* Fully degenerate: the sum is the constant m. *)
+    if Rat.compare (Rat.of_int m) t <= 0 then Rat.one else Rat.zero
+  else Rat.sub Rat.one (cdf ~widths (Rat.sub (Rat.of_int m) t))
+
+(* ---------------- float versions ---------------- *)
+
+let cdf_float ~widths t =
+  let widths = Array.of_list (List.filter (fun w -> w > 0.) (Array.to_list widths)) in
+  let m = Array.length widths in
+  if m = 0 then if t >= 0. then 1. else 0.
+  else if t <= 0. then 0.
+  else begin
+    let sum =
+      Combinat.fold_subset_sums widths ~init:0. ~f:(fun acc ~size ~sum ->
+        if sum < t then begin
+          let term = Combinat.int_pow (t -. sum) m in
+          if size land 1 = 0 then acc +. term else acc -. term
+        end
+        else acc)
+    in
+    clamp01 (sum /. (Combinat.factorial_float m *. Array.fold_left ( *. ) 1. widths))
+  end
+
+let pdf_float ~widths t =
+  let widths = Array.of_list (List.filter (fun w -> w > 0.) (Array.to_list widths)) in
+  let m = Array.length widths in
+  if m = 0 then invalid_arg "Uniform_sum.pdf_float: degenerate distribution";
+  if t <= 0. then 0.
+  else begin
+    let sum =
+      Combinat.fold_subset_sums widths ~init:0. ~f:(fun acc ~size ~sum ->
+        if sum < t then begin
+          let term = Combinat.int_pow (t -. sum) (m - 1) in
+          if size land 1 = 0 then acc +. term else acc -. term
+        end
+        else acc)
+    in
+    Float.max 0. (sum /. (Combinat.factorial_float (m - 1) *. Array.fold_left ( *. ) 1. widths))
+  end
+
+let cdf_shifted_float ~lowers t =
+  let m = Array.length lowers in
+  let widths = Array.map (fun l -> 1. -. l) lowers in
+  if Array.for_all (fun w -> w <= 0.) widths then if float_of_int m <= t then 1. else 0.
+  else clamp01 (1. -. cdf_float ~widths (float_of_int m -. t))
+
+(* ---------------- equal widths, O(m) ---------------- *)
+
+let cdf_equal ~m ~width t =
+  if m < 0 then invalid_arg "Uniform_sum.cdf_equal: negative m";
+  if m = 0 || Rat.is_zero width then if Rat.sign t >= 0 then Rat.one else Rat.zero
+  else if Rat.sign t <= 0 then Rat.zero
+  else begin
+    let acc = ref Rat.zero in
+    for j = 0 to m do
+      let shift = Rat.mul_int width j in
+      if Rat.compare shift t < 0 then begin
+        let term =
+          Rat.mul (Rat.of_bigint (Combinat.binomial m j)) (Rat.pow (Rat.sub t shift) m)
+        in
+        acc := if j land 1 = 0 then Rat.add !acc term else Rat.sub !acc term
+      end
+    done;
+    Rat.div !acc (Rat.mul (Rat.of_bigint (Combinat.factorial m)) (Rat.pow width m))
+  end
+
+let cdf_equal_float ~m ~width t =
+  if m < 0 then invalid_arg "Uniform_sum.cdf_equal_float: negative m";
+  if m = 0 || width <= 0. then if t >= 0. then 1. else 0.
+  else if t <= 0. then 0.
+  else begin
+    let acc = ref 0. in
+    for j = 0 to m do
+      let shift = width *. float_of_int j in
+      if shift < t then begin
+        let term = Combinat.binomial_float m j *. Combinat.int_pow (t -. shift) m in
+        acc := if j land 1 = 0 then !acc +. term else !acc -. term
+      end
+    done;
+    clamp01 (!acc /. (Combinat.factorial_float m *. Combinat.int_pow width m))
+  end
+
+let cdf_equal_shifted ~m ~lower t =
+  let width = Rat.sub Rat.one lower in
+  if Rat.is_zero width then if Rat.compare (Rat.of_int m) t <= 0 then Rat.one else Rat.zero
+  else Rat.sub Rat.one (cdf_equal ~m ~width (Rat.sub (Rat.of_int m) t))
+
+let cdf_equal_shifted_float ~m ~lower t =
+  let width = 1. -. lower in
+  if width <= 0. then if float_of_int m <= t then 1. else 0.
+  else clamp01 (1. -. cdf_equal_float ~m ~width (float_of_int m -. t))
+
+let irwin_hall_cdf ~m t = cdf_equal ~m ~width:Rat.one t
+let irwin_hall_cdf_float ~m t = cdf_equal_float ~m ~width:1. t
+
+let irwin_hall_pdf_float ~m t =
+  if m <= 0 then invalid_arg "Uniform_sum.irwin_hall_pdf_float: m";
+  if t <= 0. || t >= float_of_int m then 0.
+  else begin
+    let acc = ref 0. in
+    for j = 0 to m do
+      let shift = float_of_int j in
+      if shift < t then begin
+        let term = Combinat.binomial_float m j *. Combinat.int_pow (t -. shift) (m - 1) in
+        acc := if j land 1 = 0 then !acc +. term else !acc -. term
+      end
+    done;
+    Float.max 0. (!acc /. Combinat.factorial_float (m - 1))
+  end

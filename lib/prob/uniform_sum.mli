@@ -1,0 +1,54 @@
+(** Distribution of sums of independent uniform random variables
+    (the paper's Section 2.2).
+
+    - {!cdf} / {!cdf_float}: Lemma 2.4 — CDF of [Σ x_i], [x_i ~ U[0, π_i]];
+    - {!pdf} / {!pdf_float}: Lemma 2.5 — the density (this formula answers a
+      research problem of Rota);
+    - {!cdf_shifted} / {!cdf_shifted_float}: Lemma 2.7 — CDF of [Σ x_i],
+      [x_i ~ U[π_i, 1]];
+    - [cdf_equal*], [irwin_hall*]: the equal-width and Corollary 2.6
+      specializations, computed in [O(m)] terms instead of [O(2^m)].
+
+    Zero-width variables (e.g. [π_i = 0], or [π_i = 1] in the shifted case)
+    are treated as the point masses they are. Exact versions take and return
+    {!Rat.t}; float versions clamp results into [[0, 1]]. *)
+
+(** {1 General widths (inclusion-exclusion over subsets, cost O(2^m))} *)
+
+val cdf : widths:Rat.t array -> Rat.t -> Rat.t
+(** [cdf ~widths t = P(Σ x_i <= t)] with [x_i ~ U[0, widths_i]],
+    [widths_i >= 0]. *)
+
+val cdf_float : widths:float array -> float -> float
+
+val pdf : widths:Rat.t array -> Rat.t -> Rat.t
+(** Density of [Σ x_i] at [t]; requires at least one positive width. *)
+
+val pdf_float : widths:float array -> float -> float
+
+val cdf_shifted : lowers:Rat.t array -> Rat.t -> Rat.t
+(** [cdf_shifted ~lowers t = P(Σ x_i <= t)] with [x_i ~ U[lowers_i, 1]],
+    [0 <= lowers_i <= 1]. *)
+
+val cdf_shifted_float : lowers:float array -> float -> float
+
+(** {1 Equal widths (cost O(m))} *)
+
+val cdf_equal : m:int -> width:Rat.t -> Rat.t -> Rat.t
+(** CDF of the sum of [m] iid [U[0, width]] variables. *)
+
+val cdf_equal_float : m:int -> width:float -> float -> float
+
+val cdf_equal_shifted : m:int -> lower:Rat.t -> Rat.t -> Rat.t
+(** CDF of the sum of [m] iid [U[lower, 1]] variables. *)
+
+val cdf_equal_shifted_float : m:int -> lower:float -> float -> float
+
+(** {1 Irwin-Hall (Corollary 2.6)} *)
+
+val irwin_hall_cdf : m:int -> Rat.t -> Rat.t
+(** CDF of the sum of [m] iid [U[0,1]] variables at [t]. *)
+
+val irwin_hall_cdf_float : m:int -> float -> float
+
+val irwin_hall_pdf_float : m:int -> float -> float

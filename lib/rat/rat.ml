@@ -1,0 +1,182 @@
+(* Normalized rationals: den > 0, gcd (num, den) = 1, zero is 0/1. *)
+
+module B = Bigint
+
+type t = { num : B.t; den : B.t }
+
+let num t = t.num
+let den t = t.den
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero
+  else if B.is_zero num then { num = B.zero; den = B.one }
+  else begin
+    let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+    let g = B.gcd num den in
+    if B.is_one g then { num; den } else { num = B.div num g; den = B.div den g }
+  end
+
+let of_bigint n = { num = n; den = B.one }
+let of_int v = of_bigint (B.of_int v)
+let of_ints a b = make (B.of_int a) (B.of_int b)
+let zero = of_int 0
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+let half = of_ints 1 2
+let sign t = B.sign t.num
+let is_zero t = B.is_zero t.num
+let is_integer t = B.is_one t.den
+let neg t = { t with num = B.neg t.num }
+let abs t = { t with num = B.abs t.num }
+
+let inv t =
+  if is_zero t then raise Division_by_zero
+  else if B.sign t.num > 0 then { num = t.den; den = t.num }
+  else { num = B.neg t.den; den = B.neg t.num }
+
+let add a b =
+  (* gcd-optimized schoolbook addition *)
+  make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+
+let sub a b = make (B.sub (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+let mul a b = make (B.mul a.num b.num) (B.mul a.den b.den)
+let div a b = if is_zero b then raise Division_by_zero else mul a (inv b)
+let add_int a v = add a (of_int v)
+let mul_int a v = make (B.mul a.num (B.of_int v)) a.den
+let div_int a v = make a.num (B.mul a.den (B.of_int v))
+
+let pow t k =
+  if k >= 0 then { num = B.pow t.num k; den = B.pow t.den k }
+  else begin
+    let p = { num = B.pow t.num (-k); den = B.pow t.den (-k) } in
+    inv p
+  end
+
+let compare a b = B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+let equal a b = B.equal a.num b.num && B.equal a.den b.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let hash t = Hashtbl.hash (B.hash t.num, B.hash t.den)
+
+let floor t = fst (B.ediv_rem t.num t.den)
+
+let ceil t =
+  let q, r = B.ediv_rem t.num t.den in
+  if B.is_zero r then q else B.succ q
+
+let mid a b = div_int (add a b) 2
+
+let to_float t =
+  if is_zero t then 0.
+  else begin
+    (* Shift so the integer quotient carries ~63 significant bits, then
+       round once. *)
+    let shift = 63 + B.bit_length t.den - B.bit_length t.num in
+    let num', den' =
+      if shift >= 0 then (B.shift_left t.num shift, t.den) else (t.num, B.shift_left t.den (-shift))
+    in
+    let q = B.div num' den' in
+    ldexp (B.to_float q) (-shift)
+  end
+
+let of_float x =
+  if not (Float.is_finite x) then invalid_arg "Rat.of_float: not finite";
+  if x = 0. then zero
+  else begin
+    let m, e = frexp x in
+    (* m in [0.5, 1): m * 2^53 is an integer that fits in 53+1 bits. *)
+    let mi = Int64.to_int (Int64.of_float (ldexp m 53)) in
+    let e = e - 53 in
+    if e >= 0 then of_bigint (B.shift_left (B.of_int mi) e)
+    else make (B.of_int mi) (B.shift_left B.one (-e))
+  end
+
+let to_string t =
+  if is_integer t then B.to_string t.num
+  else B.to_string t.num ^ "/" ^ B.to_string t.den
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    let a = B.of_string (String.sub s 0 i) in
+    let b = B.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make a b
+  | None -> (
+    match String.index_opt s '.' with
+    | None -> of_bigint (B.of_string s)
+    | Some i ->
+      let int_part = String.sub s 0 i in
+      let frac = String.sub s (i + 1) (String.length s - i - 1) in
+      String.iter
+        (fun c -> if c < '0' || c > '9' then invalid_arg "Rat.of_string: bad fraction digit")
+        frac;
+      let negative = String.length int_part > 0 && int_part.[0] = '-' in
+      let whole = if int_part = "" || int_part = "-" || int_part = "+" then B.zero else B.of_string int_part in
+      let scale = B.pow (B.of_int 10) (String.length frac) in
+      let fpart = if frac = "" then B.zero else B.of_string frac in
+      let mag = B.add (B.mul (B.abs whole) scale) fpart in
+      let v = make mag scale in
+      if negative then neg v else v)
+
+let to_decimal_string ~digits t =
+  if digits < 0 then invalid_arg "Rat.to_decimal_string: digits";
+  let num = B.abs t.num in
+  let whole, frac = B.divmod num t.den in
+  let sign_str = if B.sign t.num < 0 then "-" else "" in
+  if digits = 0 then sign_str ^ B.to_string whole
+  else begin
+    let scaled = B.div (B.mul frac (B.pow (B.of_int 10) digits)) t.den in
+    let frac_str = B.to_string scaled in
+    let padded = String.make (digits - String.length frac_str) '0' ^ frac_str in
+    sign_str ^ B.to_string whole ^ "." ^ padded
+  end
+
+let best_approximation ~max_den t =
+  if B.sign max_den <= 0 then invalid_arg "Rat.best_approximation: max_den";
+  if B.compare t.den max_den <= 0 then t
+  else begin
+    (* Walk the continued-fraction convergents h_k/k_k of t; when the next
+       denominator would exceed the bound, the best approximation is either
+       the last convergent or the best admissible semiconvergent. *)
+    let rec go p q (h_prev, k_prev) (h_cur, k_cur) =
+      (* invariant: p/q is the remaining tail, q > 0 *)
+      if B.is_zero q then make h_cur k_cur
+      else begin
+        let a, r = B.ediv_rem p q in
+        let h_next = B.add (B.mul a h_cur) h_prev in
+        let k_next = B.add (B.mul a k_cur) k_prev in
+        if B.compare k_next max_den <= 0 then go q r (h_cur, k_cur) (h_next, k_next)
+        else begin
+          (* largest admissible semiconvergent coefficient *)
+          let tmax = B.div (B.sub max_den k_prev) k_cur in
+          let semi =
+            if B.sign tmax > 0 then
+              Some (make (B.add (B.mul tmax h_cur) h_prev) (B.add (B.mul tmax k_cur) k_prev))
+            else None
+          in
+          let conv = make h_cur k_cur in
+          match semi with
+          | None -> conv
+          | Some s ->
+            if compare (abs (sub s t)) (abs (sub conv t)) < 0 then s else conv
+        end
+      end
+    in
+    go t.num t.den (B.zero, B.one) (B.one, B.zero)
+  end
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

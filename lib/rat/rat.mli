@@ -1,0 +1,106 @@
+(** Exact rational arithmetic over {!Bigint}.
+
+    Values are kept normalized: the denominator is strictly positive and
+    coprime with the numerator; zero is represented as [0/1]. All operations
+    preserve this invariant. *)
+
+type t
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+(** {1 Construction} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+val half : t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] normalizes. @raise Division_by_zero when [den] is zero. *)
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints a b] is the rational [a/b]. *)
+
+val of_float : float -> t
+(** Exact dyadic value of a finite float. @raise Invalid_argument on
+    [nan]/[infinity]. *)
+
+val of_string : string -> t
+(** Accepts ["a"], ["a/b"], and decimal notation ["-1.25"]. *)
+
+(** {1 Conversions} *)
+
+val to_float : t -> float
+(** Accurate to well beyond double precision (the quotient is computed with
+    ~63 significant bits before rounding). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val to_decimal_string : digits:int -> t -> string
+(** Decimal expansion truncated toward zero to [digits] fractional digits,
+    e.g. [to_decimal_string ~digits:10 (of_ints 1 7) = "0.1428571428"]. *)
+
+val best_approximation : max_den:Bigint.t -> t -> t
+(** The closest rational with denominator at most [max_den] (continued
+    fractions / Stern-Brocot). [max_den >= 1]. Used to present certified
+    algebraic optima as compact fractions. *)
+
+(** {1 Predicates, comparison} *)
+
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero when the divisor is zero. *)
+
+val add_int : t -> int -> t
+val mul_int : t -> int -> t
+val div_int : t -> int -> t
+
+val pow : t -> int -> t
+(** Integer exponent of either sign. @raise Division_by_zero when raising
+    zero to a negative power. *)
+
+val floor : t -> Bigint.t
+val ceil : t -> Bigint.t
+
+val mid : t -> t -> t
+(** Midpoint [(a + b) / 2]. *)
+
+(** {1 Infix operators}
+
+    Opened locally as [Rat.Infix] in computation-heavy code. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

@@ -1,0 +1,206 @@
+(* Unit and property tests for the arbitrary-precision integer substrate. *)
+
+module B = Bigint
+
+let bi = Alcotest.testable B.pp B.equal
+
+(* Generator for big integers built from random decimal strings, so values
+   routinely exceed 64 bits and exercise the multi-limb paths. *)
+let gen_bigint =
+  QCheck.Gen.(
+    let* digits = int_range 1 60 in
+    let* sign = oneofl [ ""; "-" ] in
+    let* first = int_range 1 9 in
+    let* rest = list_repeat (digits - 1) (int_range 0 9) in
+    let s = sign ^ String.concat "" (List.map string_of_int (first :: rest)) in
+    return (B.of_string s))
+
+let arb_bigint = QCheck.make ~print:B.to_string gen_bigint
+
+let arb_int62 = QCheck.int_range (-(1 lsl 30)) (1 lsl 30)
+
+let qtest ?(count = 500) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let unit_tests =
+  [
+    Alcotest.test_case "constants" `Quick (fun () ->
+      Alcotest.check bi "zero" B.zero (B.of_int 0);
+      Alcotest.check bi "one" B.one (B.of_int 1);
+      Alcotest.check bi "two" B.two (B.add B.one B.one);
+      Alcotest.check bi "minus_one" B.minus_one (B.neg B.one));
+    Alcotest.test_case "string roundtrip on landmarks" `Quick (fun () ->
+      List.iter
+        (fun s -> Alcotest.(check string) s s (B.to_string (B.of_string s)))
+        [
+          "0"; "1"; "-1"; "1073741824"; "-1073741823"; "4611686018427387904";
+          "123456789012345678901234567890";
+          "-999999999999999999999999999999999999999";
+        ]);
+    Alcotest.test_case "of_string underscores and sign" `Quick (fun () ->
+      Alcotest.check bi "sep" (B.of_int 1_000_000) (B.of_string "1_000_000");
+      Alcotest.check bi "plus" (B.of_int 42) (B.of_string "+42"));
+    Alcotest.test_case "of_string rejects garbage" `Quick (fun () ->
+      Alcotest.check_raises "empty" (Invalid_argument "Bigint.of_string: empty") (fun () ->
+        ignore (B.of_string ""));
+      (try
+         ignore (B.of_string "12a3");
+         Alcotest.fail "accepted bad digit"
+       with Invalid_argument _ -> ()));
+    Alcotest.test_case "min_int roundtrip" `Quick (fun () ->
+      let v = B.of_int min_int in
+      Alcotest.(check string) "repr" (string_of_int min_int) (B.to_string v);
+      Alcotest.(check int) "back" min_int (B.to_int_exn v));
+    Alcotest.test_case "to_int_opt overflow" `Quick (fun () ->
+      Alcotest.(check (option int)) "big" None (B.to_int_opt (B.pow (B.of_int 10) 30));
+      Alcotest.(check (option int)) "max_int" (Some max_int) (B.to_int_opt (B.of_int max_int)));
+    Alcotest.test_case "factorial 30" `Quick (fun () ->
+      let rec fact n = if n = 0 then B.one else B.mul (B.of_int n) (fact (n - 1)) in
+      Alcotest.(check string) "30!" "265252859812191058636308480000000" (B.to_string (fact 30)));
+    Alcotest.test_case "pow" `Quick (fun () ->
+      Alcotest.(check string) "2^100" "1267650600228229401496703205376"
+        (B.to_string (B.pow B.two 100));
+      Alcotest.check bi "x^0" B.one (B.pow (B.of_int 12345) 0);
+      Alcotest.check bi "(-2)^3" (B.of_int (-8)) (B.pow (B.of_int (-2)) 3));
+    Alcotest.test_case "division by zero" `Quick (fun () ->
+      Alcotest.check_raises "divmod" Division_by_zero (fun () ->
+        ignore (B.divmod B.one B.zero)));
+    Alcotest.test_case "ediv_rem corner signs" `Quick (fun () ->
+      let check a b q r =
+        let q', r' = B.ediv_rem (B.of_int a) (B.of_int b) in
+        Alcotest.(check (pair int int))
+          (Printf.sprintf "%d /e %d" a b)
+          (q, r)
+          (B.to_int_exn q', B.to_int_exn r')
+      in
+      check 7 3 2 1;
+      check (-7) 3 (-3) 2;
+      check 7 (-3) (-2) 1;
+      check (-7) (-3) 3 2);
+    Alcotest.test_case "shifts" `Quick (fun () ->
+      Alcotest.check bi "shl" (B.of_string "1267650600228229401496703205376")
+        (B.shift_left B.one 100);
+      Alcotest.check bi "shr" (B.of_int 1) (B.shift_right (B.shift_left B.one 100) 100);
+      Alcotest.check bi "shr trunc" (B.of_int 2) (B.shift_right (B.of_int 5) 1);
+      Alcotest.check bi "neg shr" (B.of_int (-2)) (B.shift_right (B.of_int (-5)) 1));
+    Alcotest.test_case "bit_length" `Quick (fun () ->
+      Alcotest.(check int) "0" 0 (B.bit_length B.zero);
+      Alcotest.(check int) "1" 1 (B.bit_length B.one);
+      Alcotest.(check int) "2^100" 101 (B.bit_length (B.shift_left B.one 100)));
+    Alcotest.test_case "to_float" `Quick (fun () ->
+      Alcotest.(check (float 0.)) "exact small" 12345. (B.to_float (B.of_int 12345));
+      let v = B.to_float (B.of_string "1000000000000000000000") in
+      Alcotest.(check (float 1e-12)) "1e21 relative" 1. (v /. 1e21));
+    Alcotest.test_case "gcd landmarks" `Quick (fun () ->
+      Alcotest.check bi "coprime" B.one (B.gcd (B.of_int 35) (B.of_int 64));
+      Alcotest.check bi "zero" (B.of_int 5) (B.gcd B.zero (B.of_int (-5)));
+      Alcotest.check bi "big"
+        (B.of_string "9000000009")
+        (B.gcd (B.of_string "123456789123456789") (B.of_string "987654321987654321")));
+    Alcotest.test_case "karatsuba threshold crossing" `Quick (fun () ->
+      (* Exercise the Karatsuba path with >32-limb operands and verify by a
+         divide-back round trip. *)
+      let huge = B.pow (B.of_string "1234567890123456789") 64 in
+      let sq = B.mul huge huge in
+      let q, r = B.divmod sq huge in
+      Alcotest.check bi "divide back" huge q;
+      Alcotest.check bi "no remainder" B.zero r);
+  ]
+
+let property_tests =
+  [
+    qtest "add agrees with int" (QCheck.pair arb_int62 arb_int62) (fun (a, b) ->
+      B.equal (B.add (B.of_int a) (B.of_int b)) (B.of_int (a + b)));
+    qtest "mul agrees with int" (QCheck.pair arb_int62 arb_int62) (fun (a, b) ->
+      B.equal (B.mul (B.of_int a) (B.of_int b)) (B.of_int (a * b)));
+    qtest "divmod agrees with int"
+      (QCheck.pair arb_int62 arb_int62)
+      (fun (a, b) ->
+        QCheck.assume (b <> 0);
+        let q, r = B.divmod (B.of_int a) (B.of_int b) in
+        B.to_int_exn q = a / b && B.to_int_exn r = a mod b);
+    qtest "string roundtrip" arb_bigint (fun a -> B.equal a (B.of_string (B.to_string a)));
+    qtest "add commutative" (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+      B.equal (B.add a b) (B.add b a));
+    qtest "add associative"
+      (QCheck.triple arb_bigint arb_bigint arb_bigint)
+      (fun (a, b, c) -> B.equal (B.add (B.add a b) c) (B.add a (B.add b c)));
+    qtest "mul commutative" (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+      B.equal (B.mul a b) (B.mul b a));
+    qtest "mul associative"
+      (QCheck.triple arb_bigint arb_bigint arb_bigint)
+      (fun (a, b, c) -> B.equal (B.mul (B.mul a b) c) (B.mul a (B.mul b c)));
+    qtest "distributivity"
+      (QCheck.triple arb_bigint arb_bigint arb_bigint)
+      (fun (a, b, c) -> B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)));
+    qtest "sub inverse of add" (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+      B.equal (B.sub (B.add a b) b) a);
+    qtest "divmod invariant" (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+      QCheck.assume (not (B.is_zero b));
+      let q, r = B.divmod a b in
+      B.equal (B.add (B.mul q b) r) a
+      && B.compare (B.abs r) (B.abs b) < 0
+      && (B.is_zero r || B.sign r = B.sign a));
+    qtest "ediv_rem invariant" (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+      QCheck.assume (not (B.is_zero b));
+      let q, r = B.ediv_rem a b in
+      B.equal (B.add (B.mul q b) r) a && B.sign r >= 0 && B.compare r (B.abs b) < 0);
+    qtest "gcd divides both" (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+      QCheck.assume (not (B.is_zero a) || not (B.is_zero b));
+      let g = B.gcd a b in
+      B.is_zero (B.rem a g) && B.is_zero (B.rem b g) && B.sign g > 0);
+    qtest "gcd scaling" (QCheck.triple arb_bigint arb_bigint arb_bigint) (fun (a, b, c) ->
+      QCheck.assume (not (B.is_zero c));
+      B.equal (B.gcd (B.mul a c) (B.mul b c)) (B.mul (B.abs c) (B.gcd a b)));
+    qtest "compare is a total order consistent with sub"
+      (QCheck.pair arb_bigint arb_bigint)
+      (fun (a, b) -> compare (B.sign (B.sub a b)) 0 = compare (B.compare a b) 0);
+    qtest "modular consistency of mul (mod 1000003)"
+      (QCheck.pair arb_bigint arb_bigint)
+      (fun (a, b) ->
+        let p = B.of_int 1000003 in
+        let m x = B.rem (B.abs x) p in
+        B.equal (m (B.mul (m a) (m b))) (m (B.mul a b)));
+    qtest "shift_left is *2^k"
+      (QCheck.pair arb_bigint (QCheck.int_range 0 200))
+      (fun (a, k) -> B.equal (B.shift_left a k) (B.mul a (B.pow B.two k)));
+    qtest "bit_length bounds" arb_bigint (fun a ->
+      QCheck.assume (not (B.is_zero a));
+      let n = B.bit_length a in
+      B.compare (B.abs a) (B.shift_left B.one n) < 0
+      && B.compare (B.shift_left B.one (n - 1)) (B.abs a) <= 0);
+    qtest "to_float relative error" arb_bigint (fun a ->
+      QCheck.assume (not (B.is_zero a));
+      let f = B.to_float a in
+      (* Compare against a decimal-string-derived float. *)
+      let g = float_of_string (B.to_string a) in
+      abs_float (f -. g) <= abs_float g *. 1e-12);
+    qtest "division stress at exact-multiple boundaries"
+      (QCheck.pair arb_bigint arb_bigint)
+      (fun (b, q) ->
+        QCheck.assume (B.sign b > 0 && B.sign q > 0);
+        (* b*q and b*q - 1 sit exactly at quotient boundaries, stressing the
+           qhat estimate/adjust path of Knuth's algorithm D *)
+        let exact = B.mul b q in
+        let q1, r1 = B.divmod exact b in
+        let q2, r2 = B.divmod (B.pred exact) b in
+        B.equal q1 q && B.is_zero r1
+        && B.equal q2 (B.pred q) && B.equal r2 (B.pred b)
+        || B.is_one b (* degenerate: b = 1 makes the second case q-1 rem 0 *)
+           && B.equal q2 (B.pred exact) && B.is_zero r2);
+    qtest "division by numbers with high-bit-heavy limbs"
+      (QCheck.pair arb_bigint (QCheck.int_range 1 60))
+      (fun (a, k) ->
+        QCheck.assume (not (B.is_zero a));
+        (* divisors of the form 2^j - 1 have all-ones limbs, a classic
+           stress pattern for the normalization step *)
+        let d = B.pred (B.shift_left B.one (k * 7)) in
+        QCheck.assume (not (B.is_zero d));
+        let q, r = B.divmod a d in
+        B.equal a (B.add (B.mul q d) r) && B.compare (B.abs r) d < 0);
+    qtest "pow homomorphism"
+      (QCheck.pair arb_bigint (QCheck.pair (QCheck.int_range 0 8) (QCheck.int_range 0 8)))
+      (fun (a, (i, j)) -> B.equal (B.mul (B.pow a i) (B.pow a j)) (B.pow a (i + j)));
+  ]
+
+let () = Alcotest.run "bigint" [ ("unit", unit_tests); ("property", property_tests) ]

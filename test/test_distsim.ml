@@ -1,0 +1,313 @@
+(* Tests for the distributed-simulation substrate: communication patterns,
+   protocols, and the execution engine. *)
+
+let qtest ?(count = 100) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* ------------------------- Comm_pattern ------------------------- *)
+
+let pattern_tests =
+  [
+    Alcotest.test_case "none has no edges" `Quick (fun () ->
+      let p = Comm_pattern.none ~n:5 in
+      Alcotest.(check int) "messages" 0 (Comm_pattern.message_count p);
+      for i = 0 to 4 do
+        Alcotest.(check (list int)) "sees nothing" [] (Comm_pattern.sees p i)
+      done);
+    Alcotest.test_case "broadcast edges" `Quick (fun () ->
+      let p = Comm_pattern.broadcast ~n:4 ~source:1 in
+      Alcotest.(check int) "messages" 3 (Comm_pattern.message_count p);
+      Alcotest.(check (list int)) "viewer 0" [ 1 ] (Comm_pattern.sees p 0);
+      Alcotest.(check (list int)) "source sees nothing" [] (Comm_pattern.sees p 1);
+      Alcotest.(check bool) "observes" true (Comm_pattern.observes p ~viewer:3 ~source:1);
+      Alcotest.(check bool) "not observes" false (Comm_pattern.observes p ~viewer:1 ~source:3));
+    Alcotest.test_case "chain structure" `Quick (fun () ->
+      let p = Comm_pattern.chain ~n:4 in
+      Alcotest.(check (list int)) "player 0" [] (Comm_pattern.sees p 0);
+      Alcotest.(check (list int)) "player 3" [ 0; 1; 2 ] (Comm_pattern.sees p 3);
+      Alcotest.(check int) "messages" 6 (Comm_pattern.message_count p));
+    Alcotest.test_case "full information" `Quick (fun () ->
+      let p = Comm_pattern.full ~n:4 in
+      Alcotest.(check int) "messages" 12 (Comm_pattern.message_count p));
+    Alcotest.test_case "ring" `Quick (fun () ->
+      let p = Comm_pattern.ring ~n:3 in
+      Alcotest.(check (list int)) "player 0 sees last" [ 2 ] (Comm_pattern.sees p 0);
+      Alcotest.(check (list int)) "player 1" [ 0 ] (Comm_pattern.sees p 1);
+      Alcotest.(check int) "messages" 3 (Comm_pattern.message_count p);
+      let p1 = Comm_pattern.ring ~n:1 in
+      Alcotest.(check (list int)) "singleton ring" [] (Comm_pattern.sees p1 0));
+    Alcotest.test_case "k_hop interpolates none..full" `Quick (fun () ->
+      let p0 = Comm_pattern.k_hop ~n:6 ~k:0 in
+      Alcotest.(check int) "k=0 is none" 0 (Comm_pattern.message_count p0);
+      let p1 = Comm_pattern.k_hop ~n:6 ~k:1 in
+      Alcotest.(check (list int)) "k=1 both neighbours" [ 1; 5 ] (Comm_pattern.sees p1 0);
+      let p3 = Comm_pattern.k_hop ~n:6 ~k:3 in
+      Alcotest.(check int) "k=n/2 is full" (6 * 5) (Comm_pattern.message_count p3);
+      let phuge = Comm_pattern.k_hop ~n:5 ~k:100 in
+      Alcotest.(check int) "k beyond n is full" (5 * 4) (Comm_pattern.message_count phuge));
+    Alcotest.test_case "make sanitizes" `Quick (fun () ->
+      let p = Comm_pattern.make ~n:3 (fun i -> [ i; -1; 7; 2; 2 ]) in
+      Alcotest.(check (list int)) "player 0" [ 2 ] (Comm_pattern.sees p 0);
+      Alcotest.(check (list int)) "player 2 drops self" [] (Comm_pattern.sees p 2));
+    Alcotest.test_case "edges consistent with message_count" `Quick (fun () ->
+      let p = Comm_pattern.chain ~n:5 in
+      Alcotest.(check int) "len" (Comm_pattern.message_count p)
+        (List.length (Comm_pattern.edges p)));
+  ]
+
+(* ------------------------- Dist_protocol ------------------------- *)
+
+let protocol_tests =
+  [
+    Alcotest.test_case "view_input lookup" `Quick (fun () ->
+      let v = { Dist_protocol.me = 1; own = 0.5; others = [ (0, 0.2); (2, 0.9) ] } in
+      Alcotest.(check (option (float 0.))) "own" (Some 0.5) (Dist_protocol.view_input v 1);
+      Alcotest.(check (option (float 0.))) "other" (Some 0.9) (Dist_protocol.view_input v 2);
+      Alcotest.(check (option (float 0.))) "hidden" None (Dist_protocol.view_input v 3));
+    Alcotest.test_case "oblivious ignores view" `Quick (fun () ->
+      let p = Dist_protocol.oblivious [| 0.3; 0.7 |] in
+      let v1 = { Dist_protocol.me = 0; own = 0.1; others = [] } in
+      let v2 = { Dist_protocol.me = 0; own = 0.9; others = [ (1, 0.4) ] } in
+      Alcotest.(check (float 0.)) "same" (Dist_protocol.decide p v1) (Dist_protocol.decide p v2);
+      Alcotest.(check (float 0.)) "alpha" 0.3 (Dist_protocol.decide p v1);
+      Alcotest.(check bool) "randomized" false (Dist_protocol.is_deterministic p));
+    Alcotest.test_case "single threshold decisions" `Quick (fun () ->
+      let p = Dist_protocol.single_threshold [| 0.5 |] in
+      let at x = Dist_protocol.decide p { Dist_protocol.me = 0; own = x; others = [] } in
+      Alcotest.(check (float 0.)) "below" 1. (at 0.4);
+      Alcotest.(check (float 0.)) "above" 0. (at 0.6);
+      Alcotest.(check bool) "deterministic" true (Dist_protocol.is_deterministic p));
+    Alcotest.test_case "weighted threshold uses visible inputs only" `Quick (fun () ->
+      let p =
+        Dist_protocol.weighted_threshold
+          ~weights:[| [| 1.; 1. |]; [| 1.; 1. |] |]
+          ~thresholds:[| 0.8; 0.8 |]
+      in
+      let alone = { Dist_protocol.me = 0; own = 0.5; others = [] } in
+      let seen = { Dist_protocol.me = 0; own = 0.5; others = [ (1, 0.5) ] } in
+      Alcotest.(check (float 0.)) "below alone" 1. (Dist_protocol.decide p alone);
+      Alcotest.(check (float 0.)) "above with message" 0. (Dist_protocol.decide p seen));
+  ]
+
+(* ------------------------- Engine ------------------------- *)
+
+let engine_tests =
+  [
+    Alcotest.test_case "views respect the pattern" `Quick (fun () ->
+      let pat = Comm_pattern.broadcast ~n:3 ~source:2 in
+      let inputs = [| 0.1; 0.2; 0.3 |] in
+      let vs = Engine.views pat inputs in
+      Alcotest.(check (float 0.)) "own" 0.1 vs.(0).Dist_protocol.own;
+      Alcotest.(check (list (pair int (float 0.)))) "player 0 sees source" [ (2, 0.3) ]
+        vs.(0).Dist_protocol.others;
+      Alcotest.(check (list (pair int (float 0.)))) "source sees none" []
+        vs.(2).Dist_protocol.others);
+    Alcotest.test_case "run_once loads add up" `Quick (fun () ->
+      let rng = Rng.create ~seed:12 in
+      let pat = Comm_pattern.none ~n:4 in
+      let p = Dist_protocol.common_threshold ~n:4 0.5 in
+      for _ = 1 to 100 do
+        let o = Engine.run_once rng ~delta:1.2 pat p in
+        let total = Array.fold_left ( +. ) 0. o.Engine.inputs in
+        Alcotest.(check (float 1e-12)) "loads partition inputs" total
+          (o.Engine.load0 +. o.Engine.load1);
+        Alcotest.(check bool) "win consistent" o.Engine.win
+          (o.Engine.load0 <= 1.2 && o.Engine.load1 <= 1.2)
+      done);
+    Alcotest.test_case "no-comm engine matches core closed form (threshold)" `Quick (fun () ->
+      let n = 3 and delta = 1. in
+      let exact = Threshold.winning_probability_sym ~n ~delta 0.622 in
+      let grid =
+        Engine.win_probability_grid ~points:200 ~delta (Comm_pattern.none ~n)
+          (Dist_protocol.common_threshold ~n 0.622)
+      in
+      Alcotest.(check bool) "grid close" true (abs_float (grid -. exact) < 2e-3);
+      let rng = Rng.create ~seed:31 in
+      let est =
+        Engine.win_probability_mc ~rng ~samples:150_000 ~delta (Comm_pattern.none ~n)
+          (Dist_protocol.common_threshold ~n 0.622)
+      in
+      Alcotest.(check bool) "mc agrees" true (Mc.agrees est exact));
+    Alcotest.test_case "no-comm engine matches core closed form (oblivious)" `Quick (fun () ->
+      let n = 4 and delta = 4. /. 3. in
+      let exact = Oblivious.winning_probability_uniform ~n ~delta in
+      let rng = Rng.create ~seed:32 in
+      let est =
+        Engine.win_probability_mc ~rng ~samples:150_000 ~delta (Comm_pattern.none ~n)
+          (Dist_protocol.fair_coin ~n)
+      in
+      Alcotest.(check bool) "mc agrees" true (Mc.agrees est exact));
+    Alcotest.test_case "win_probability_given: randomized enumeration" `Quick (fun () ->
+      (* all players flip fair coins on fixed inputs: compare against a
+         direct 2^n enumeration *)
+      let n = 3 and delta = 1. in
+      let pat = Comm_pattern.none ~n in
+      let proto = Dist_protocol.fair_coin ~n in
+      let inputs = [| 0.7; 0.6; 0.5 |] in
+      let direct =
+        let count = ref 0 in
+        for mask = 0 to 7 do
+          let l0 = ref 0. in
+          for i = 0 to 2 do
+            if mask land (1 lsl i) = 0 then l0 := !l0 +. inputs.(i)
+          done;
+          let total = 1.8 in
+          if !l0 <= delta && total -. !l0 <= delta then incr count
+        done;
+        float_of_int !count /. 8.
+      in
+      Alcotest.(check (float 1e-12)) "enumeration" direct
+        (Engine.win_probability_given ~delta pat proto inputs));
+    Alcotest.test_case "win_probability_given: deterministic single branch" `Quick (fun () ->
+      let n = 3 and delta = 1. in
+      let pat = Comm_pattern.none ~n in
+      let proto = Dist_protocol.common_threshold ~n 0.5 in
+      (* inputs 0.4, 0.45, 0.9: bins {0,1} get 0.85 and 0.9 -> win *)
+      Alcotest.(check (float 0.)) "win" 1.
+        (Engine.win_probability_given ~delta pat proto [| 0.4; 0.45; 0.9 |]);
+      (* inputs 0.4, 0.45, 0.3: all in bin 0 -> 1.15 > 1 -> lose *)
+      Alcotest.(check (float 0.)) "lose" 0.
+        (Engine.win_probability_given ~delta pat proto [| 0.4; 0.45; 0.3 |]));
+    Alcotest.test_case "grid size guard" `Quick (fun () ->
+      try
+        ignore
+          (Engine.win_probability_grid ~points:1000 ~delta:1. (Comm_pattern.none ~n:4)
+             (Dist_protocol.fair_coin ~n:4));
+        Alcotest.fail "accepted oversized grid"
+      with Invalid_argument _ -> ());
+    Alcotest.test_case "communication helps (X1 sanity)" `Quick (fun () ->
+      (* A hand-rolled broadcast protocol: the source plays threshold 0.622;
+         listeners route away from the bin the source loaded when its input
+         is large. It must beat the best no-communication protocol. *)
+      let n = 3 and delta = 1. in
+      let pat = Comm_pattern.broadcast ~n ~source:0 in
+      let proto =
+        (* An analytic witness: the source takes bin 0; listener 1 joins it
+           exactly when the announced load leaves room; listener 2 takes
+           bin 1. The only losing event is {x0 + x1 > 1 and x1 + x2 > 1},
+           of probability 1/3, so P(win) = 2/3 > 0.5446. *)
+        Dist_protocol.make ~deterministic:true ~name:"listen" (fun v ->
+          match v.Dist_protocol.me with
+          | 0 -> 1.
+          | 1 -> (
+            match Dist_protocol.view_input v 0 with
+            | Some x0 when x0 +. v.Dist_protocol.own <= 1. -> 1.
+            | _ -> 0.)
+          | _ -> 0.)
+      in
+      let p_comm = Engine.win_probability_grid ~points:120 ~delta pat proto in
+      let p_best_nocomm = (1. /. 6.) +. (1. /. sqrt 7.) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%.4f > %.4f" p_comm p_best_nocomm)
+        true (p_comm > p_best_nocomm));
+    Alcotest.test_case "custom input distributions via sampler" `Quick (fun () ->
+      (* inputs distributed as x^2 of a uniform (density skewed to 0): the
+         common-threshold win probability must rise above the uniform case
+         since loads shrink stochastically *)
+      let n = 3 and delta = 1. in
+      let pat = Comm_pattern.none ~n in
+      let proto = Dist_protocol.common_threshold ~n 0.622 in
+      let rng = Rng.create ~seed:77 in
+      let small_inputs rng = let u = Rng.float01 rng in u *. u in
+      let est_small =
+        Engine.win_probability_mc ~sampler:small_inputs ~rng ~samples:100_000 ~delta pat proto
+      in
+      let est_unif = Engine.win_probability_mc ~rng ~samples:100_000 ~delta pat proto in
+      Alcotest.(check bool) "skewed-to-zero inputs win more" true
+        (est_small.Mc.mean > est_unif.Mc.mean +. 0.05);
+      (* and the default sampler reproduces the closed form *)
+      Alcotest.(check bool) "uniform default agrees with Thm 5.1" true
+        (Mc.agrees est_unif (Threshold.winning_probability_sym ~n ~delta 0.622)));
+    Alcotest.test_case "optimize_family improves on the start" `Quick (fun () ->
+      let n = 3 and delta = 1. in
+      let pat = Comm_pattern.none ~n in
+      let family params = Dist_protocol.common_threshold ~n params.(0) in
+      let x0 = [| 0.3 |] in
+      let start = Engine.win_probability_grid ~points:60 ~delta pat (family x0) in
+      let best_x, best_v =
+        Engine.optimize_family ~points:60 ~delta pat ~family ~x0 ~bounds:[| (0., 1.) |] ()
+      in
+      Alcotest.(check bool) "improves" true (best_v >= start);
+      Alcotest.(check bool) "lands near 0.62" true (abs_float (best_x.(0) -. 0.622) < 0.05));
+  ]
+
+(* ------------------------- Py91 ladder ------------------------- *)
+
+let py91_tests =
+  [
+    Alcotest.test_case "ladder is strictly increasing and matches anchors" `Quick (fun () ->
+      let rng = Rng.create ~seed:991 in
+      let measured =
+        List.map
+          (fun (name, (pat, proto), expected) ->
+            let est =
+              Engine.win_probability_mc ~rng ~samples:300_000 ~delta:Py91.delta pat proto
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s near %.3f (got %.4f)" name expected est.Mc.mean)
+              true
+              (abs_float (est.Mc.mean -. expected) < 0.01);
+            est.Mc.mean)
+          Py91.ladder
+      in
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "monotone ladder" true (increasing measured));
+    Alcotest.test_case "full information achieves the feasibility bound" `Quick (fun () ->
+      (* greedy wins exactly when some partition fits: compare per input *)
+      let pat, proto = Py91.full_information in
+      let rng = Rng.create ~seed:992 in
+      for _ = 1 to 3_000 do
+        let inputs = Array.init 3 (fun _ -> Rng.float01 rng) in
+        let greedy_wins = Engine.win_probability_given ~delta:1. pat proto inputs = 1. in
+        let a = inputs.(0) and b = inputs.(1) and c = inputs.(2) in
+        let feasible =
+          let ok x y = x <= 1. && y <= 1. in
+          ok (a +. b) c || ok (a +. c) b || ok (b +. c) a || a +. b +. c <= 1.
+        in
+        Alcotest.(check bool) "greedy = feasible" feasible greedy_wins
+      done);
+    Alcotest.test_case "no-communication rung equals the certified optimum" `Quick (fun () ->
+      Alcotest.(check (float 1e-12)) "constant" ((1. /. 6.) +. (1. /. sqrt 7.))
+        Py91.expected_no_communication);
+  ]
+
+let gen_inputs n = QCheck.Gen.(list_repeat n (float_bound_exclusive 1.))
+
+let engine_props =
+  [
+    qtest "win_probability_given in [0,1]"
+      (QCheck.make
+         ~print:(fun l -> String.concat ";" (List.map string_of_float l))
+         QCheck.Gen.(int_range 1 5 >>= gen_inputs))
+      (fun inputs ->
+        let inputs = Array.of_list inputs in
+        let n = Array.length inputs in
+        let pat = Comm_pattern.none ~n in
+        let proto = Dist_protocol.oblivious (Array.make n 0.37) in
+        let p = Engine.win_probability_given ~delta:1. pat proto inputs in
+        p >= 0. && p <= 1.);
+    qtest ~count:20 "grid integration close to closed form for random beta"
+      (QCheck.int_range 1 19)
+      (fun k ->
+        let beta = float_of_int k /. 20. in
+        let n = 3 and delta = 1. in
+        let exact = Threshold.winning_probability_sym ~n ~delta beta in
+        let grid =
+          Engine.win_probability_grid ~points:100 ~delta (Comm_pattern.none ~n)
+            (Dist_protocol.common_threshold ~n beta)
+        in
+        abs_float (grid -. exact) < 5e-3);
+  ]
+
+let () =
+  Alcotest.run "distsim"
+    [
+      ("pattern", pattern_tests);
+      ("protocol", protocol_tests);
+      ("engine", engine_tests);
+      ("py91", py91_tests);
+      ("engine-prop", engine_props);
+    ]

@@ -1,0 +1,293 @@
+(* Tests for the probability substrate: PRNG, uniform-sum laws (paper
+   Lemmas 2.4, 2.5, 2.7 and Corollary 2.6), statistics and the MC harness. *)
+
+module U = Uniform_sum
+module R = Rat
+
+let rat = Alcotest.testable R.pp R.equal
+
+let qtest ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* ------------------------- Rng ------------------------- *)
+
+let rng_tests =
+  [
+    Alcotest.test_case "determinism per seed" `Quick (fun () ->
+      let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+      for _ = 1 to 100 do
+        Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+      done);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+      let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+      let same = ref 0 in
+      for _ = 1 to 64 do
+        if Rng.next_int64 a = Rng.next_int64 b then incr same
+      done;
+      Alcotest.(check bool) "streams diverge" true (!same < 4));
+    Alcotest.test_case "copy independence" `Quick (fun () ->
+      let a = Rng.create ~seed:9 in
+      ignore (Rng.next_int64 a);
+      let b = Rng.copy a in
+      let va = Rng.next_int64 a in
+      let vb = Rng.next_int64 b in
+      Alcotest.(check int64) "copies replay" va vb);
+    Alcotest.test_case "float01 range and moments" `Quick (fun () ->
+      let rng = Rng.create ~seed:4242 in
+      let acc = ref Stats.empty in
+      for _ = 1 to 100_000 do
+        let v = Rng.float01 rng in
+        if v < 0. || v >= 1. then Alcotest.fail "out of range";
+        acc := Stats.add !acc v
+      done;
+      Alcotest.(check (float 0.01)) "mean" 0.5 (Stats.mean !acc);
+      Alcotest.(check (float 0.01)) "variance" (1. /. 12.) (Stats.variance !acc));
+    Alcotest.test_case "int_below bounds and uniformity" `Quick (fun () ->
+      let rng = Rng.create ~seed:31337 in
+      let counts = Array.make 7 0 in
+      for _ = 1 to 70_000 do
+        let v = Rng.int_below rng 7 in
+        counts.(v) <- counts.(v) + 1
+      done;
+      Array.iter
+        (fun c -> Alcotest.(check bool) "within 5%" true (abs (c - 10_000) < 500))
+        counts);
+    Alcotest.test_case "bernoulli frequency" `Quick (fun () ->
+      let rng = Rng.create ~seed:555 in
+      let hits = ref 0 in
+      for _ = 1 to 100_000 do
+        if Rng.bernoulli rng 0.3 then incr hits
+      done;
+      Alcotest.(check bool) "about 0.3" true (abs (!hits - 30_000) < 1_000));
+  ]
+
+(* ------------------------- Uniform_sum ------------------------- *)
+
+let gen_widths =
+  QCheck.Gen.(
+    let* m = int_range 1 7 in
+    list_repeat m (map (fun k -> float_of_int k /. 10.) (int_range 1 10)))
+
+let arb_widths_t =
+  QCheck.make
+    ~print:(fun (ws, t) ->
+      Printf.sprintf "widths=[%s] t=%.3f" (String.concat ";" (List.map string_of_float ws)) t)
+    QCheck.Gen.(
+      let* ws = gen_widths in
+      let* t = float_range 0.01 (List.fold_left ( +. ) 0.2 ws) in
+      return (ws, t))
+
+let uniform_sum_tests =
+  [
+    Alcotest.test_case "Cor 2.6: Irwin-Hall landmarks" `Quick (fun () ->
+      Alcotest.check rat "m=1 t=1/2" R.half (U.irwin_hall_cdf ~m:1 R.half);
+      Alcotest.check rat "m=2 t=1" R.half (U.irwin_hall_cdf ~m:2 R.one);
+      Alcotest.check rat "m=2 t=1/2" (R.of_ints 1 8) (U.irwin_hall_cdf ~m:2 R.half);
+      Alcotest.check rat "m=3 t=1" (R.of_ints 1 6) (U.irwin_hall_cdf ~m:3 R.one);
+      Alcotest.check rat "saturates" R.one (U.irwin_hall_cdf ~m:3 (R.of_int 5));
+      Alcotest.check rat "zero below 0" R.zero (U.irwin_hall_cdf ~m:3 (R.of_int (-1))));
+    Alcotest.test_case "Irwin-Hall symmetry F(t) + F(m-t) = 1" `Quick (fun () ->
+      for m = 1 to 8 do
+        let t = R.of_ints m 3 in
+        let s = R.add (U.irwin_hall_cdf ~m t) (U.irwin_hall_cdf ~m (R.sub (R.of_int m) t)) in
+        Alcotest.check rat (Printf.sprintf "m=%d" m) R.one s
+      done);
+    Alcotest.test_case "Lemma 2.4 equals Cor 2.6 on unit widths" `Quick (fun () ->
+      for m = 1 to 6 do
+        let widths = Array.make m R.one in
+        let t = R.of_ints (2 * m) 5 in
+        Alcotest.check rat (Printf.sprintf "m=%d" m) (U.irwin_hall_cdf ~m t)
+          (U.cdf ~widths t)
+      done);
+    Alcotest.test_case "Lemma 2.4 dim 1 and 2 analytic" `Quick (fun () ->
+      (* single U[0, 1/2] at t = 1/4 -> 1/2 *)
+      Alcotest.check rat "1D" R.half (U.cdf ~widths:[| R.half |] (R.of_ints 1 4));
+      (* U[0,1] + U[0,2] at t=1: area {x+y<=1, 0<=x<=1, 0<=y<=2}/2 = (1/2)/2 *)
+      Alcotest.check rat "2D" (R.of_ints 1 4) (U.cdf ~widths:[| R.one; R.of_int 2 |] R.one));
+    Alcotest.test_case "zero widths are point masses" `Quick (fun () ->
+      Alcotest.check rat "dropped"
+        (U.cdf ~widths:[| R.one; R.half |] R.one)
+        (U.cdf ~widths:[| R.one; R.zero; R.half; R.zero |] R.one);
+      Alcotest.check rat "all zero, t >= 0" R.one (U.cdf ~widths:[| R.zero |] R.zero));
+    Alcotest.test_case "Lemma 2.7 shifted landmarks" `Quick (fun () ->
+      (* one U[1/2, 1] at t = 3/4 -> 1/2 *)
+      Alcotest.check rat "1D" R.half (U.cdf_shifted ~lowers:[| R.half |] (R.of_ints 3 4));
+      (* degenerate pi=1: point mass at 1 *)
+      Alcotest.check rat "pi=1 below" R.zero (U.cdf_shifted ~lowers:[| R.one |] R.half);
+      Alcotest.check rat "pi=1 at 1" R.one (U.cdf_shifted ~lowers:[| R.one |] R.one));
+    Alcotest.test_case "Lemma 2.7 equals complement of Lemma 2.4" `Quick (fun () ->
+      (* all lowers 0: U[0,1]; shifted cdf must equal Irwin-Hall *)
+      for m = 1 to 5 do
+        let t = R.of_ints (2 * m) 3 in
+        Alcotest.check rat (Printf.sprintf "m=%d" m) (U.irwin_hall_cdf ~m t)
+          (U.cdf_shifted ~lowers:(Array.make m R.zero) t)
+      done);
+    Alcotest.test_case "equal-width fast path equals general" `Quick (fun () ->
+      for m = 1 to 7 do
+        let width = R.of_ints 3 5 in
+        let t = R.of_ints m 2 in
+        Alcotest.check rat
+          (Printf.sprintf "m=%d" m)
+          (U.cdf ~widths:(Array.make m width) t)
+          (U.cdf_equal ~m ~width t)
+      done);
+    Alcotest.test_case "equal shifted fast path equals general" `Quick (fun () ->
+      for m = 1 to 7 do
+        let lower = R.of_ints 5 8 in
+        let t = R.of_ints (3 * m) 4 in
+        Alcotest.check rat
+          (Printf.sprintf "m=%d" m)
+          (U.cdf_shifted ~lowers:(Array.make m lower) t)
+          (U.cdf_equal_shifted ~m ~lower t)
+      done);
+    Alcotest.test_case "Lemma 2.5 density integrates to the CDF" `Quick (fun () ->
+      (* Simpson integration of the exact pdf recovers the cdf. *)
+      let widths = [| 0.4; 0.7; 1.0 |] in
+      let t = 1.3 in
+      let n = 2000 in
+      let h = t /. float_of_int n in
+      let sum = ref (U.pdf_float ~widths 1e-12 +. U.pdf_float ~widths t) in
+      for i = 1 to n - 1 do
+        let w = if i land 1 = 1 then 4. else 2. in
+        sum := !sum +. (w *. U.pdf_float ~widths (h *. float_of_int i))
+      done;
+      let integral = !sum *. h /. 3. in
+      Alcotest.(check (float 1e-6)) "integral" (U.cdf_float ~widths t) integral);
+    Alcotest.test_case "Rota density formula vs histogram (L1)" `Quick (fun () ->
+      let widths = [| 0.5; 1.0; 0.8 |] in
+      let rng = Rng.create ~seed:2718 in
+      let samples =
+        Array.init 200_000 (fun _ ->
+          Array.fold_left (fun acc w -> acc +. (Rng.float01 rng *. w)) 0. widths)
+      in
+      let h = Stats.histogram ~bins:20 ~lo:0. ~hi:2.3 samples in
+      for i = 2 to 17 do
+        let x = Stats.bin_center h i in
+        let emp = Stats.histogram_density h i in
+        let thy = U.pdf_float ~widths x in
+        Alcotest.(check bool)
+          (Printf.sprintf "bin %d" i)
+          true
+          (abs_float (emp -. thy) < 0.05)
+      done);
+    Alcotest.test_case "exact pdf matches float pdf" `Quick (fun () ->
+      let widths_r = [| R.half; R.one; R.of_ints 4 5 |] in
+      let widths_f = Array.map R.to_float widths_r in
+      let t = R.of_ints 11 10 in
+      Alcotest.(check (float 1e-12)) "pdf" (U.pdf_float ~widths:widths_f (R.to_float t))
+        (R.to_float (U.pdf ~widths:widths_r t)));
+    Alcotest.test_case "Irwin-Hall pdf: symmetry, support, normalization" `Quick (fun () ->
+      for m = 1 to 6 do
+        let fm = float_of_int m in
+        (* symmetric about m/2 *)
+        List.iter
+          (fun t ->
+            Alcotest.(check (float 1e-10))
+              (Printf.sprintf "m=%d t=%.2f" m t)
+              (U.irwin_hall_pdf_float ~m t)
+              (U.irwin_hall_pdf_float ~m (fm -. t)))
+          [ 0.1; 0.33 *. fm; 0.45 *. fm ];
+        (* zero outside the support *)
+        Alcotest.(check (float 0.)) "left" 0. (U.irwin_hall_pdf_float ~m (-0.5));
+        Alcotest.(check (float 0.)) "right" 0. (U.irwin_hall_pdf_float ~m (fm +. 0.5));
+        (* integrates to 1 (Simpson) *)
+        let steps = 600 in
+        let h = fm /. float_of_int steps in
+        let sum = ref 0. in
+        for i = 1 to steps - 1 do
+          let w = if i land 1 = 1 then 4. else 2. in
+          sum := !sum +. (w *. U.irwin_hall_pdf_float ~m (h *. float_of_int i))
+        done;
+        (* 2e-3 tolerance: the integrand is discontinuous at the support
+           edges for m = 1 and Simpson omits the endpoints *)
+        Alcotest.(check (float 2e-3)) (Printf.sprintf "mass m=%d" m) 1. (!sum *. h /. 3.)
+      done);
+    Alcotest.test_case "shifted cdf with mixed degenerate lowers" `Quick (fun () ->
+      (* lowers containing both 0 and 1: sum = U[0,1] + 1 + U[1/2,1], so
+         P(sum <= 2) reduces to the two-variable shifted law at t = 1 *)
+      let lowers = [| R.zero; R.one; R.half |] in
+      let direct = U.cdf_shifted ~lowers:[| R.zero; R.half |] R.one in
+      Alcotest.check rat "matches reduction" direct (U.cdf_shifted ~lowers (R.of_int 2)));
+  ]
+
+let uniform_sum_props =
+  [
+    qtest "cdf in [0,1] and monotone" arb_widths_t (fun (ws, t) ->
+      let widths = Array.of_list ws in
+      let a = U.cdf_float ~widths t in
+      let b = U.cdf_float ~widths (t +. 0.1) in
+      (* the inclusion-exclusion loses bits; see the X2 ablation *)
+      a >= 0. && a <= 1. && a <= b +. 1e-8);
+    qtest "cdf exact matches float" arb_widths_t (fun (ws, t) ->
+      let widths_f = Array.of_list ws in
+      let widths_r = Array.map R.of_float widths_f in
+      let exact = R.to_float (U.cdf ~widths:widths_r (R.of_float t)) in
+      abs_float (exact -. U.cdf_float ~widths:widths_f t) <= 1e-9);
+    qtest "shifted cdf via complement identity" arb_widths_t (fun (ws, t) ->
+      (* lowers in [0,1): reuse widths scaled into [0,1) *)
+      let lowers = Array.of_list (List.map (fun w -> w /. 1.01 |> Float.min 0.99) ws) in
+      let m = Array.length lowers in
+      let direct = U.cdf_shifted_float ~lowers t in
+      let via = 1. -. U.cdf_float ~widths:(Array.map (fun l -> 1. -. l) lowers) (float_of_int m -. t) in
+      abs_float (direct -. Float.max 0. (Float.min 1. via)) <= 1e-9);
+    qtest ~count:30 "cdf agrees with Monte-Carlo" arb_widths_t (fun (ws, t) ->
+      let widths = Array.of_list ws in
+      let rng = Rng.create ~seed:(Hashtbl.hash (ws, t)) in
+      let est =
+        Mc.probability ~rng ~samples:60_000 (fun rng ->
+          Array.fold_left (fun acc w -> acc +. (Rng.float01 rng *. w)) 0. widths <= t)
+      in
+      (* 5-sigma: the property runs on fresh random cases every execution,
+         so a 95% interval would flake roughly every few runs *)
+      abs_float (est.Mc.mean -. U.cdf_float ~widths t) <= (5. *. est.Mc.stderr) +. 1e-4);
+  ]
+
+(* ------------------------- Stats / Mc ------------------------- *)
+
+let stats_tests =
+  [
+    Alcotest.test_case "welford matches direct formulas" `Quick (fun () ->
+      let data = [| 1.0; 2.0; 4.0; 8.0; 16.0 |] in
+      let acc = Stats.of_array data in
+      let n = float_of_int (Array.length data) in
+      let mean = Array.fold_left ( +. ) 0. data /. n in
+      let var =
+        Array.fold_left (fun a x -> a +. ((x -. mean) ** 2.)) 0. data /. (n -. 1.)
+      in
+      Alcotest.(check (float 1e-12)) "mean" mean (Stats.mean acc);
+      Alcotest.(check (float 1e-12)) "variance" var (Stats.variance acc);
+      Alcotest.(check int) "count" 5 (Stats.count acc));
+    Alcotest.test_case "degenerate stats" `Quick (fun () ->
+      Alcotest.(check (float 0.)) "empty mean" 0. (Stats.mean Stats.empty);
+      Alcotest.(check (float 0.)) "single variance" 0.
+        (Stats.variance (Stats.add Stats.empty 3.)));
+    Alcotest.test_case "wilson interval contains p-hat" `Quick (fun () ->
+      let lo, hi = Stats.wilson_interval ~successes:30 ~trials:100 () in
+      Alcotest.(check bool) "contains" true (lo < 0.3 && 0.3 < hi);
+      Alcotest.(check bool) "in [0,1]" true (lo >= 0. && hi <= 1.);
+      let lo0, _ = Stats.wilson_interval ~successes:0 ~trials:50 () in
+      Alcotest.(check (float 1e-12)) "at zero" 0. lo0);
+    Alcotest.test_case "histogram clipping and totals" `Quick (fun () ->
+      let h = Stats.histogram ~bins:4 ~lo:0. ~hi:1. [| -0.5; 0.1; 0.3; 0.6; 0.9; 1.5 |] in
+      Alcotest.(check int) "total" 6 h.Stats.total;
+      Alcotest.(check int) "clipped low" 2 h.Stats.counts.(0);
+      Alcotest.(check int) "clipped high" 2 h.Stats.counts.(3));
+    Alcotest.test_case "mc probability of certainty" `Quick (fun () ->
+      let rng = Rng.create ~seed:1 in
+      let est = Mc.probability ~rng ~samples:1000 (fun _ -> true) in
+      Alcotest.(check (float 0.)) "p=1" 1. est.Mc.mean;
+      Alcotest.(check bool) "agrees with 1" true (Mc.agrees est 1.));
+    Alcotest.test_case "mc expectation of uniform" `Quick (fun () ->
+      let rng = Rng.create ~seed:2 in
+      let est = Mc.expectation ~rng ~samples:100_000 Rng.float01 in
+      Alcotest.(check bool) "mean near 1/2" true (Mc.agrees est 0.5));
+  ]
+
+let () =
+  Alcotest.run "prob"
+    [
+      ("rng", rng_tests);
+      ("uniform-sum", uniform_sum_tests);
+      ("uniform-sum-prop", uniform_sum_props);
+      ("stats-mc", stats_tests);
+    ]

@@ -1,0 +1,158 @@
+(* Unit and property tests for exact rationals. *)
+
+module R = Rat
+module B = Bigint
+
+let rat = Alcotest.testable R.pp R.equal
+
+let gen_rat =
+  QCheck.Gen.(
+    let* num = int_range (-1_000_000) 1_000_000 in
+    let* den = int_range 1 1_000_000 in
+    return (R.of_ints num den))
+
+let arb_rat = QCheck.make ~print:R.to_string gen_rat
+
+let gen_rat_nonzero = QCheck.Gen.(gen_rat >>= fun r -> if R.is_zero r then return R.one else return r)
+let arb_rat_nonzero = QCheck.make ~print:R.to_string gen_rat_nonzero
+
+let qtest ?(count = 500) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let unit_tests =
+  [
+    Alcotest.test_case "normalization" `Quick (fun () ->
+      Alcotest.check rat "2/4 = 1/2" R.half (R.of_ints 2 4);
+      Alcotest.check rat "-2/-4 = 1/2" R.half (R.of_ints (-2) (-4));
+      Alcotest.check rat "3/-6 = -1/2" (R.neg R.half) (R.of_ints 3 (-6));
+      Alcotest.(check string) "0 normal form" "0" (R.to_string (R.of_ints 0 17)));
+    Alcotest.test_case "den positive invariant" `Quick (fun () ->
+      Alcotest.(check int) "sign den" 1 (B.sign (R.den (R.of_ints 5 (-7)))));
+    Alcotest.test_case "of_string forms" `Quick (fun () ->
+      Alcotest.check rat "frac" (R.of_ints 22 7) (R.of_string "22/7");
+      Alcotest.check rat "int" (R.of_int (-5)) (R.of_string "-5");
+      Alcotest.check rat "decimal" (R.of_ints (-5) 4) (R.of_string "-1.25");
+      Alcotest.check rat "decimal < 1" (R.of_ints 1 4) (R.of_string "0.25");
+      Alcotest.check rat "trailing zeros" (R.of_ints 1 2) (R.of_string "0.500"));
+    Alcotest.test_case "to_float exactness on dyadics" `Quick (fun () ->
+      Alcotest.(check (float 0.)) "1/2" 0.5 (R.to_float R.half);
+      Alcotest.(check (float 0.)) "3/8" 0.375 (R.to_float (R.of_ints 3 8));
+      Alcotest.(check (float 0.)) "-7/4" (-1.75) (R.to_float (R.of_ints (-7) 4)));
+    Alcotest.test_case "to_float huge values" `Quick (fun () ->
+      let huge = R.make (B.pow (B.of_int 10) 40) (B.pow (B.of_int 7) 3) in
+      let expect = 1e40 /. 343. in
+      Alcotest.(check (float 1e-12)) "ratio" 1. (R.to_float huge /. expect));
+    Alcotest.test_case "of_float exact dyadic" `Quick (fun () ->
+      Alcotest.check rat "0.25" (R.of_ints 1 4) (R.of_float 0.25);
+      Alcotest.check rat "-0.1 is not 1/10" (R.of_string "-3602879701896397/36028797018963968")
+        (R.of_float (-0.1));
+      Alcotest.check_raises "nan" (Invalid_argument "Rat.of_float: not finite") (fun () ->
+        ignore (R.of_float Float.nan)));
+    Alcotest.test_case "floor and ceil" `Quick (fun () ->
+      let check name v fl ce =
+        let r = R.of_string v in
+        Alcotest.(check string) (name ^ " floor") fl (B.to_string (R.floor r));
+        Alcotest.(check string) (name ^ " ceil") ce (B.to_string (R.ceil r))
+      in
+      check "7/2" "7/2" "3" "4";
+      check "-7/2" "-7/2" "-4" "-3";
+      check "4" "4" "4" "4");
+    Alcotest.test_case "pow negative exponent" `Quick (fun () ->
+      Alcotest.check rat "(2/3)^-2" (R.of_ints 9 4) (R.pow (R.of_ints 2 3) (-2));
+      Alcotest.check_raises "0^-1" Division_by_zero (fun () -> ignore (R.pow R.zero (-1))));
+    Alcotest.test_case "division by zero" `Quick (fun () ->
+      Alcotest.check_raises "div" Division_by_zero (fun () -> ignore (R.div R.one R.zero));
+      Alcotest.check_raises "inv" Division_by_zero (fun () -> ignore (R.inv R.zero));
+      Alcotest.check_raises "make" Division_by_zero (fun () -> ignore (R.make B.one B.zero)));
+    Alcotest.test_case "to_decimal_string" `Quick (fun () ->
+      Alcotest.(check string) "1/7" "0.1428571428" (R.to_decimal_string ~digits:10 (R.of_ints 1 7));
+      Alcotest.(check string) "negative" "-1.25" (R.to_decimal_string ~digits:2 (R.of_ints (-5) 4));
+      Alcotest.(check string) "integer" "42" (R.to_decimal_string ~digits:0 (R.of_int 42));
+      Alcotest.(check string) "padding" "0.0100" (R.to_decimal_string ~digits:4 (R.of_ints 1 100)));
+    Alcotest.test_case "best_approximation landmarks" `Quick (fun () ->
+      let pi = R.of_string "3.14159265358979" in
+      Alcotest.check rat "355/113" (R.of_ints 355 113)
+        (R.best_approximation ~max_den:(B.of_int 1000) pi);
+      Alcotest.check rat "22/7" (R.of_ints 22 7)
+        (R.best_approximation ~max_den:(B.of_int 10) pi);
+      (* already small enough: identity *)
+      Alcotest.check rat "identity" (R.of_ints 3 8)
+        (R.best_approximation ~max_den:(B.of_int 100) (R.of_ints 3 8)));
+    Alcotest.test_case "paper constants" `Quick (fun () ->
+      (* The coefficients appearing in Section 5.2 survive arithmetic. *)
+      let a = R.of_string "6/7" and b = R.of_string "-11/6" in
+      Alcotest.check rat "6/7 - 2 + 1 = -1/7" (R.of_ints (-1) 7) (R.add (R.sub a R.two) R.one);
+      Alcotest.check rat "-11/6 + 9 = 43/6" (R.of_ints 43 6) (R.add_int b 9));
+  ]
+
+let property_tests =
+  [
+    qtest "normal form: gcd(num, den) = 1" arb_rat (fun r ->
+      B.equal (B.gcd (R.num r) (R.den r)) B.one && B.sign (R.den r) > 0);
+    qtest "field: add commutative" (QCheck.pair arb_rat arb_rat) (fun (a, b) ->
+      R.equal (R.add a b) (R.add b a));
+    qtest "field: add associative" (QCheck.triple arb_rat arb_rat arb_rat) (fun (a, b, c) ->
+      R.equal (R.add (R.add a b) c) (R.add a (R.add b c)));
+    qtest "field: mul distributes" (QCheck.triple arb_rat arb_rat arb_rat) (fun (a, b, c) ->
+      R.equal (R.mul a (R.add b c)) (R.add (R.mul a b) (R.mul a c)));
+    qtest "field: additive inverse" arb_rat (fun a -> R.is_zero (R.add a (R.neg a)));
+    qtest "field: multiplicative inverse" arb_rat_nonzero (fun a ->
+      R.equal R.one (R.mul a (R.inv a)));
+    qtest "div inverse of mul" (QCheck.pair arb_rat arb_rat_nonzero) (fun (a, b) ->
+      R.equal a (R.div (R.mul a b) b));
+    qtest "compare antisymmetric" (QCheck.pair arb_rat arb_rat) (fun (a, b) ->
+      R.compare a b = -R.compare b a);
+    qtest "compare transitive witness: mid between" (QCheck.pair arb_rat arb_rat) (fun (a, b) ->
+      QCheck.assume (R.compare a b < 0);
+      let m = R.mid a b in
+      R.compare a m < 0 && R.compare m b < 0);
+    qtest "to_float monotone-ish (1 ulp)" (QCheck.pair arb_rat arb_rat) (fun (a, b) ->
+      QCheck.assume (R.compare a b < 0);
+      R.to_float a <= R.to_float b +. 1e-15);
+    qtest "of_float roundtrip" (QCheck.float_range (-1e6) 1e6) (fun x ->
+      R.to_float (R.of_float x) = x);
+    qtest "string roundtrip" arb_rat (fun a -> R.equal a (R.of_string (R.to_string a)));
+    qtest "floor <= x < floor + 1" arb_rat (fun a ->
+      let f = R.of_bigint (R.floor a) in
+      R.compare f a <= 0 && R.compare a (R.add f R.one) < 0);
+    qtest "pow additivity"
+      (QCheck.pair arb_rat_nonzero (QCheck.pair (QCheck.int_range (-6) 6) (QCheck.int_range (-6) 6)))
+      (fun (a, (i, j)) -> R.equal (R.mul (R.pow a i) (R.pow a j)) (R.pow a (i + j)));
+    qtest "abs and sign decompose" arb_rat (fun a ->
+      R.equal a (R.mul_int (R.abs a) (R.sign a)) || (R.is_zero a && R.sign a = 0));
+    qtest "decimal string truncates toward zero" arb_rat (fun a ->
+      let s = R.to_decimal_string ~digits:6 a in
+      let back = R.of_string s in
+      let err = R.abs (R.sub a back) in
+      R.compare err (R.of_string "1/1000000") < 0
+      && R.compare (R.abs back) (R.abs a) <= 0);
+    qtest "best_approximation is within 1/(max_den) and respects the bound" arb_rat (fun a ->
+      let max_den = B.of_int 97 in
+      let b = R.best_approximation ~max_den a in
+      B.compare (R.den b) max_den <= 0
+      && R.compare (R.abs (R.sub a b)) (R.of_ints 1 97) <= 0);
+    qtest "best_approximation optimality vs brute force"
+      (QCheck.pair (QCheck.int_range (-500) 500) (QCheck.int_range 1 500))
+      (fun (n, d) ->
+        let a = R.of_ints n d in
+        let max_den = 12 in
+        let b = R.best_approximation ~max_den:(B.of_int max_den) a in
+        (* brute force the best denominator <= 12 *)
+        let best = ref None in
+        for den = 1 to max_den do
+          let num = R.floor (R.mul_int a den) in
+          List.iter
+            (fun cand ->
+              let c = R.make cand (B.of_int den) in
+              let e = R.abs (R.sub a c) in
+              match !best with
+              | Some (_, be) when R.compare be e <= 0 -> ()
+              | _ -> best := Some (c, e))
+            [ num; B.succ num ]
+        done;
+        match !best with
+        | Some (_, be) -> R.compare (R.abs (R.sub a b)) be <= 0
+        | None -> false);
+  ]
+
+let () = Alcotest.run "rat" [ ("unit", unit_tests); ("property", property_tests) ]
