@@ -5,6 +5,9 @@
      dune exec bench/main.exe                 # run all experiment groups
      dune exec bench/main.exe -- t1 x2        # run selected groups
      dune exec bench/main.exe -- --bechamel   # also run timing benchmarks
+     dune exec bench/main.exe -- t3 --report FILE
+        # also write a machine-readable JSON run report (per-experiment
+        # wall time, Monte-Carlo samples/sec, full counter snapshot)
 
    Experiment ids (see DESIGN.md section 4):
      fig1 fig2  - the paper's Figures 1-2 (threshold curves for n = 3,4,5)
@@ -622,9 +625,83 @@ let groups =
     ("x5", x5); ("x6", x6); ("x7", x7);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable run reports (--report FILE)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One record per experiment: wall time, the Monte-Carlo throughput over
+   the experiment's window (0 when the experiment draws no samples), and
+   the full counter/gauge/histogram snapshot accumulated while it ran. *)
+type experiment_record = {
+  id : string;
+  wall_seconds : float;
+  mc_samples : int;
+  mc_samples_per_sec : float;
+  metrics_json : string;
+}
+
+let run_experiment ~instrument (id, f) =
+  if instrument then Metrics.reset ();
+  let t0 = Trace.now_s () in
+  f ();
+  let wall_seconds = Trace.now_s () -. t0 in
+  let snap = Metrics.snapshot () in
+  let mc_samples =
+    match Metrics.find "ddm_mc_samples_total" with
+    | Some { Metrics.value = Metrics.Counter_v v; _ } -> v
+    | _ -> 0
+  in
+  let mc_samples_per_sec =
+    if wall_seconds > 0. then float_of_int mc_samples /. wall_seconds else 0.
+  in
+  { id; wall_seconds; mc_samples; mc_samples_per_sec; metrics_json = Export.json_of_samples snap }
+
+(* Fail before the experiments run, not after tens of seconds of work. *)
+let check_report_writable file =
+  match open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 file with
+  | oc -> close_out oc
+  | exception Sys_error msg ->
+    Printf.eprintf "--report: cannot write %s (%s)\n" file msg;
+    exit 2
+
+let write_report ~file records =
+  let total = List.fold_left (fun acc r -> acc +. r.wall_seconds) 0. records in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"schema\":\"ddm.bench.report/v1\",\"suite\":\"ddm-bench\",";
+  Buffer.add_string buf (Printf.sprintf "\"total_wall_seconds\":%.6f," total);
+  Buffer.add_string buf "\"experiments\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"id\":\"%s\",\"wall_seconds\":%.6f,\"mc_samples\":%d,\"mc_samples_per_sec\":%.1f,\"metrics\":%s}"
+           r.id r.wall_seconds r.mc_samples r.mc_samples_per_sec r.metrics_json))
+    records;
+  Buffer.add_string buf "]}";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote run report: %s (%d experiment%s, %.2f s total)\n" file
+    (List.length records)
+    (if List.length records = 1 then "" else "s")
+    total
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let want_bechamel = List.mem "--bechamel" args in
+  let report_file, args =
+    let rec split acc = function
+      | "--report" :: file :: rest -> (Some file, List.rev_append acc rest)
+      | [ "--report" ] ->
+        Printf.eprintf "--report requires a FILE argument\n";
+        exit 2
+      | a :: rest -> split (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    split [] args
+  in
   let selected = List.filter (fun a -> a <> "--bechamel") args in
   let to_run =
     if selected = [] then groups
@@ -634,11 +711,15 @@ let () =
           match List.assoc_opt id groups with
           | Some f -> (id, f)
           | None ->
-            Printf.eprintf "unknown experiment %S; known: %s --bechamel\n" id
+            Printf.eprintf "unknown experiment %S; known: %s --bechamel --report FILE\n" id
               (String.concat " " (List.map fst groups));
             exit 2)
         selected
   in
-  List.iter (fun (_, f) -> f ()) to_run;
+  Option.iter check_report_writable report_file;
+  let instrument = report_file <> None in
+  if instrument then Metrics.set_enabled true;
+  let records = List.map (run_experiment ~instrument) to_run in
+  (match report_file with Some file -> write_report ~file records | None -> ());
   if want_bechamel then bechamel ();
   print_newline ()

@@ -16,8 +16,19 @@ let delta_conv =
   in
   Arg.conv (parse, Rat.pp)
 
+(* Strictly-positive integer option values; a nonpositive count would loop
+   forever or blow up deep inside the engine, so reject it at the CLI. *)
+let pos_int what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v > 0 -> Ok v
+    | Some v -> Error (`Msg (Printf.sprintf "%s must be a positive integer (got %d)" what v))
+    | None -> Error (`Msg (Printf.sprintf "bad %s %S: expected a positive integer" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let n_arg =
-  Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Number of players.")
+  Arg.(value & opt (pos_int "player count") 3 & info [ "n" ] ~docv:"N" ~doc:"Number of players.")
 
 let delta_arg =
   Arg.(
@@ -29,14 +40,51 @@ let delta_arg =
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
 let samples_arg =
-  Arg.(value & opt int 200_000 & info [ "samples" ] ~docv:"K" ~doc:"Monte-Carlo plays.")
+  Arg.(
+    value
+    & opt (pos_int "sample count") 200_000
+    & info [ "samples" ] ~docv:"K" ~doc:"Monte-Carlo plays.")
 
 let resolve_delta n = function Some d -> d | None -> Rat.of_ints n 3
+
+(* ------------------------- observability ------------------------- *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt
+        (some (enum [ ("table", Export.Table); ("json", Export.Json); ("prom", Export.Prometheus) ]))
+        None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Enable instrumentation and print a metrics snapshot after the run: $(b,table) \
+           (aligned human table), $(b,json) (one JSON object per line) or $(b,prom) \
+           (Prometheus text exposition).")
+
+let trace_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "trace" ]
+        ~doc:"Enable span tracing and print the recorded span tree after the run.")
+
+(* Every subcommand is wrapped so --metrics/--trace work uniformly: enable
+   the switches, run, then append the requested reports to stdout. *)
+let with_obs metrics trace run =
+  if Option.is_some metrics then Metrics.set_enabled true;
+  if trace then Trace.set_enabled true;
+  run ();
+  if trace then print_string (Trace.report ());
+  match metrics with
+  | Some fmt -> print_string (Export.render fmt (Metrics.snapshot ()))
+  | None -> ()
+
+let obs_term run_term = Term.(const with_obs $ metrics_arg $ trace_arg $ run_term)
 
 (* ------------------------- oblivious ------------------------- *)
 
 let oblivious_cmd =
-  let run n delta =
+  let run n delta () =
     let delta = resolve_delta n delta in
     let p = Oblivious.winning_probability_uniform_rat ~n ~delta in
     Printf.printf "instance: n = %d, delta = %s\n" n (Rat.to_string delta);
@@ -50,12 +98,12 @@ let oblivious_cmd =
   in
   Cmd.v
     (Cmd.info "oblivious" ~doc:"Optimal oblivious algorithm for an instance (Theorem 4.3).")
-    Term.(const run $ n_arg $ delta_arg)
+    (obs_term Term.(const run $ n_arg $ delta_arg))
 
 (* ------------------------- threshold ------------------------- *)
 
 let threshold_cmd =
-  let run n delta show_pieces =
+  let run n delta show_pieces () =
     let delta = resolve_delta n delta in
     Printf.printf "instance: n = %d, delta = %s\n" n (Rat.to_string delta);
     let curve = Symbolic.sym_threshold_curve ~n ~delta in
@@ -85,12 +133,12 @@ let threshold_cmd =
   Cmd.v
     (Cmd.info "threshold"
        ~doc:"Certified optimal single-threshold algorithm (Theorem 5.1 / Section 5.2).")
-    Term.(const run $ n_arg $ delta_arg $ pieces_arg)
+    (obs_term Term.(const run $ n_arg $ delta_arg $ pieces_arg))
 
 (* ------------------------- certify ------------------------- *)
 
 let certify_cmd =
-  let run n delta digits =
+  let run n delta digits () =
     let delta = resolve_delta n delta in
     Printf.printf "instance: n = %d, delta = %s\n" n (Rat.to_string delta);
     let res = Symbolic.optimal_sym_threshold_certified ~n ~delta () in
@@ -113,19 +161,22 @@ let certify_cmd =
       (Rat.to_decimal_string ~digits v.Interval.hi)
   in
   let digits_arg =
-    Arg.(value & opt int 30 & info [ "digits" ] ~docv:"D" ~doc:"Certified decimal digits.")
+    Arg.(
+      value
+      & opt (pos_int "digit count") 30
+      & info [ "digits" ] ~docv:"D" ~doc:"Certified decimal digits.")
   in
   Cmd.v
     (Cmd.info "certify"
        ~doc:
          "Certified optimal threshold as an exact algebraic number, with interval-arithmetic \
           value enclosure (no floating point in the comparisons).")
-    Term.(const run $ n_arg $ delta_arg $ digits_arg)
+    (obs_term Term.(const run $ n_arg $ delta_arg $ digits_arg))
 
 (* ------------------------- curve ------------------------- *)
 
 let curve_cmd =
-  let run n delta steps =
+  let run n delta steps () =
     let delta = resolve_delta n delta in
     let deltaf = Rat.to_float delta in
     Printf.printf "beta,P\n";
@@ -135,11 +186,12 @@ let curve_cmd =
     done
   in
   let steps_arg =
-    Arg.(value & opt int 100 & info [ "steps" ] ~docv:"S" ~doc:"Grid resolution.")
+    Arg.(
+      value & opt (pos_int "step count") 100 & info [ "steps" ] ~docv:"S" ~doc:"Grid resolution.")
   in
   Cmd.v
     (Cmd.info "curve" ~doc:"CSV of the symmetric-threshold winning-probability curve.")
-    Term.(const run $ n_arg $ delta_arg $ steps_arg)
+    (obs_term Term.(const run $ n_arg $ delta_arg $ steps_arg))
 
 (* ------------------------- eval ------------------------- *)
 
@@ -164,7 +216,7 @@ let expand_params n = function
   | _ -> failwith "params length must be 1 or n"
 
 let eval_cmd =
-  let run n delta rule params samples seed =
+  let run n delta rule params samples seed () =
     let delta = resolve_delta n delta in
     let deltaf = Rat.to_float delta in
     let p = expand_params n params in
@@ -185,12 +237,12 @@ let eval_cmd =
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a decision rule exactly and by simulation.")
-    Term.(const run $ n_arg $ delta_arg $ rule_arg $ params_arg $ samples_arg $ seed_arg)
+    (obs_term Term.(const run $ n_arg $ delta_arg $ rule_arg $ params_arg $ samples_arg $ seed_arg))
 
 (* ------------------------- simulate ------------------------- *)
 
 let simulate_cmd =
-  let run n delta rule params samples seed =
+  let run n delta rule params samples seed () =
     let delta = Rat.to_float (resolve_delta n delta) in
     let p = expand_params n params in
     let protocol =
@@ -219,12 +271,12 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the distributed system and report outcome statistics.")
-    Term.(const run $ n_arg $ delta_arg $ rule_arg $ params_arg $ samples_arg $ seed_arg)
+    (obs_term Term.(const run $ n_arg $ delta_arg $ rule_arg $ params_arg $ samples_arg $ seed_arg))
 
 (* ------------------------- banded ------------------------- *)
 
 let banded_cmd =
-  let run n delta params samples seed =
+  let run n delta params samples seed () =
     let delta_r = resolve_delta n delta in
     let delta = Rat.to_float delta_r in
     let rule, p =
@@ -255,12 +307,12 @@ let banded_cmd =
        ~doc:
          "Evaluate or optimize banded randomized rules (the family behind experiment X3), \
           with the exact mixture-of-uniforms evaluator.")
-    Term.(const run $ n_arg $ delta_arg $ params_arg $ samples_arg $ seed_arg)
+    (obs_term Term.(const run $ n_arg $ delta_arg $ params_arg $ samples_arg $ seed_arg))
 
 (* ------------------------- tradeoff ------------------------- *)
 
 let tradeoff_cmd =
-  let run max_n =
+  let run max_n () =
     Printf.printf "%-4s %-8s %-14s %-14s %-12s %s\n" "n" "delta" "P_oblivious" "P_threshold"
       "beta*" "winner";
     for n = 2 to max_n do
@@ -275,11 +327,12 @@ let tradeoff_cmd =
     done
   in
   let max_n_arg =
-    Arg.(value & opt int 8 & info [ "max-n" ] ~docv:"N" ~doc:"Largest system size.")
+    Arg.(
+      value & opt (pos_int "system size") 8 & info [ "max-n" ] ~docv:"N" ~doc:"Largest system size.")
   in
   Cmd.v
     (Cmd.info "tradeoff" ~doc:"Oblivious vs single-threshold optimum across system sizes.")
-    Term.(const run $ max_n_arg)
+    (obs_term Term.(const run $ max_n_arg))
 
 let () =
   let info =

@@ -253,7 +253,13 @@ let mag_divmod u v =
 (* Signed interface.                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let mk sign mag = if Array.length mag = 0 then { sign = 0; mag = mag_zero } else { sign; mag }
+let allocs =
+  Metrics.counter ~help:"Bigint values constructed (arithmetic results; constants excluded)"
+    "ddm_bigint_allocs_total"
+
+let mk sign mag =
+  Metrics.incr allocs;
+  if Array.length mag = 0 then { sign = 0; mag = mag_zero } else { sign; mag }
 let zero = { sign = 0; mag = mag_zero }
 let of_small_pos v = if v = 0 then zero else { sign = 1; mag = trim [| v land base_mask; (v lsr base_bits) land base_mask; v lsr (2 * base_bits) |] }
 

@@ -179,7 +179,10 @@ let optimal_q ~n ~delta ~t1 ~t2 =
     (Alg.of_rat Rat.zero, Poly.eval p Rat.zero)
     candidates
 
+let restarts = Metrics.counter ~help:"Multistart optimizer restarts" "ddm_opt_restarts_total"
+
 let optimum ~n ~delta () =
+  Trace.with_span "banded.optimum" @@ fun () ->
   let clamp01 v = Float.min 1. (Float.max 0. v) in
   let eval p =
     let t1 = clamp01 p.(0) and t2 = clamp01 p.(1) and q = clamp01 p.(2) in
@@ -195,6 +198,7 @@ let optimum ~n ~delta () =
   let best_x, best_v =
     List.fold_left
       (fun (bx, bv) x0 ->
+        Metrics.incr restarts;
         let x, v = Opt.nelder_mead ~f:eval ~x0 ~scale:0.12 ~tol:1e-13 ~max_iter:4000 () in
         if v > bv then (x, v) else (bx, bv))
       ([||], neg_infinity) starts

@@ -3,8 +3,12 @@
    choices is read off the generating polynomial prod_i (alpha_i + (1 -
    alpha_i) z), so the 2^n-term sum collapses to n+1 terms. *)
 
+let phi_evals =
+  Metrics.counter ~help:"Theorem 4.1 phi(k) overflow-law evaluations" "ddm_oblivious_phi_evals_total"
+
 let phi_caps ~n ~delta0 ~delta1 k =
   if k < 0 || k > n then invalid_arg "Oblivious.phi_caps: k out of range";
+  Metrics.incr phi_evals;
   Uniform_sum.irwin_hall_cdf_float ~m:(n - k) delta0
   *. Uniform_sum.irwin_hall_cdf_float ~m:k delta1
 
@@ -14,6 +18,7 @@ let phi ~n ~delta k =
 
 let phi_rat ~n ~delta k =
   if k < 0 || k > n then invalid_arg "Oblivious.phi_rat: k out of range";
+  Metrics.incr phi_evals;
   Rat.mul (Uniform_sum.irwin_hall_cdf ~m:k delta) (Uniform_sum.irwin_hall_cdf ~m:(n - k) delta)
 
 (* Coefficients of prod_i (alpha_i + (1 - alpha_i) z): index k holds

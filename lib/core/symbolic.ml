@@ -68,6 +68,7 @@ let piece_poly ~n ~delta0 ~delta1 ~probe =
   !acc
 
 let sym_threshold_curve_caps ~n ~delta0 ~delta1 =
+  Trace.with_span "symbolic.curve" @@ fun () ->
   let bps = breakpoints_caps ~n ~delta0 ~delta1 in
   let rec pieces = function
     | lo :: (hi :: _ as rest) ->

@@ -1,5 +1,10 @@
 (* Theorem 5.1: exact winning probability of single-threshold algorithms. *)
 
+let subset_terms =
+  Metrics.counter
+    ~help:"Decision-vector terms expanded by Theorem 5.1 evaluations (2^n general, n+1 symmetric)"
+    "ddm_threshold_subset_terms_total"
+
 let check_thresholds a =
   Array.iter
     (fun v -> if v < 0. || v > 1. then invalid_arg "Threshold: thresholds must lie in [0,1]")
@@ -8,6 +13,7 @@ let check_thresholds a =
 let winning_probability_caps ~delta0 ~delta1 a =
   check_thresholds a;
   let n = Array.length a in
+  Metrics.add subset_terms (1 lsl n);
   Combinat.fold_subsets ~n ~init:0. ~f:(fun acc mask ->
     (* mask bit i set <=> player i picks bin 1 (x_i > a_i). *)
     let p_b = ref 1. in
@@ -34,6 +40,7 @@ let winning_probability_rat ~delta a =
       if Rat.sign v < 0 || Rat.compare v Rat.one > 0 then
         invalid_arg "Threshold.winning_probability_rat: thresholds must lie in [0,1]")
     a;
+  Metrics.add subset_terms (1 lsl n);
   Combinat.fold_subsets ~n ~init:Rat.zero ~f:(fun acc mask ->
     let p_b = ref Rat.one in
     for i = 0 to n - 1 do
@@ -56,6 +63,7 @@ let winning_probability_rat ~delta a =
    laws depend only on counts. *)
 let winning_probability_sym_caps ~n ~delta0 ~delta1 beta =
   if beta < 0. || beta > 1. then invalid_arg "Threshold.winning_probability_sym_caps: beta";
+  Metrics.add subset_terms (n + 1);
   let acc = ref 0. in
   for k = 0 to n do
     let m = n - k in
@@ -76,6 +84,7 @@ let winning_probability_sym ~n ~delta beta =
 let winning_probability_sym_rat_caps ~n ~delta0 ~delta1 beta =
   if Rat.sign beta < 0 || Rat.compare beta Rat.one > 0 then
     invalid_arg "Threshold.winning_probability_sym_rat_caps: beta";
+  Metrics.add subset_terms (n + 1);
   let co_beta = Rat.sub Rat.one beta in
   let acc = ref Rat.zero in
   for k = 0 to n do
@@ -115,9 +124,12 @@ let optimize_vector ?starts ~n ~delta () =
     ]
   in
   let starts = match starts with Some s -> s | None -> default_starts in
+  let restarts = Metrics.counter ~help:"Multistart optimizer restarts" "ddm_opt_restarts_total" in
   let f a = winning_probability ~delta a in
+  Trace.with_span "threshold.optimize_vector" @@ fun () ->
   List.fold_left
     (fun (bx, bv) x0 ->
+      Metrics.incr restarts;
       let x, v = Opt.coordinate_ascent ~f ~x0 ~bounds:(Array.make n (0., 1.)) ~sweeps:50 () in
       if v > bv then (x, v) else (bx, bv))
     ([||], neg_infinity) starts

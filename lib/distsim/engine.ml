@@ -6,6 +6,17 @@ type outcome = {
   win : bool;
 }
 
+let plays = Metrics.counter ~help:"Distributed-system plays executed" "ddm_engine_plays_total"
+
+let grid_cells =
+  Metrics.counter ~help:"Grid cells evaluated by the deterministic integrator"
+    "ddm_engine_grid_cells_total"
+
+let branch_enums =
+  Metrics.counter
+    ~help:"Decision-vector branches (2^n per conditional evaluation) enumerated by the engine"
+    "ddm_engine_branch_enumerations_total"
+
 let views pattern inputs =
   let n = Comm_pattern.n pattern in
   Array.init n (fun i ->
@@ -23,6 +34,7 @@ let loads inputs decisions =
   (!load0, !load1)
 
 let run_once ?(sampler = Rng.float01) rng ~delta pattern protocol =
+  Metrics.incr plays;
   let n = Comm_pattern.n pattern in
   let inputs = Array.init n (fun _ -> sampler rng) in
   let vs = views pattern inputs in
@@ -37,10 +49,12 @@ let run_once ?(sampler = Rng.float01) rng ~delta pattern protocol =
   { inputs; decisions; load0; load1; win = load0 <= delta && load1 <= delta }
 
 let win_probability_mc ?sampler ~rng ~samples ~delta pattern protocol =
+  Trace.with_span "engine.mc" @@ fun () ->
   Mc.probability ~rng ~samples (fun rng -> (run_once ?sampler rng ~delta pattern protocol).win)
 
 let win_probability_given ~delta pattern protocol inputs =
   let n = Comm_pattern.n pattern in
+  Metrics.add branch_enums (1 lsl n);
   let vs = views pattern inputs in
   (* clamp: custom rules may return values slightly outside [0,1] *)
   let probs =
@@ -62,9 +76,16 @@ let win_probability_given ~delta pattern protocol inputs =
 
 let win_probability_grid ?(points = 64) ~delta pattern protocol =
   let n = Comm_pattern.n pattern in
-  if points < 2 then invalid_arg "Engine.win_probability_grid: points";
+  if points < 2 then
+    invalid_arg (Printf.sprintf "Engine.win_probability_grid: points = %d (need >= 2)" points);
   let cells = Combinat.int_pow (float_of_int points) n in
-  if cells > 1e8 then invalid_arg "Engine.win_probability_grid: grid too large";
+  if cells > 1e8 then
+    invalid_arg
+      (Printf.sprintf
+         "Engine.win_probability_grid: grid too large (points = %d, n = %d gives %.3g cells > 1e8)"
+         points n cells);
+  Trace.with_span "engine.grid" @@ fun () ->
+  Metrics.add grid_cells (int_of_float cells);
   let inputs = Array.make n 0. in
   let acc = ref 0. in
   let rec loop dim =
@@ -79,6 +100,7 @@ let win_probability_grid ?(points = 64) ~delta pattern protocol =
   !acc /. cells
 
 let optimize_family ?points ~delta pattern ~family ~x0 ~bounds () =
+  Trace.with_span "engine.optimize_family" @@ fun () ->
   let clamp x =
     Array.mapi
       (fun i v ->

@@ -1,0 +1,32 @@
+(** Exporters for {!Metrics} snapshots.
+
+    All three renderers are pure functions of a sample list, so callers can
+    filter or merge snapshots before rendering and tests can pin golden
+    output. *)
+
+type format = Table | Json | Prometheus
+
+val format_of_string : string -> format option
+(** Recognizes ["table"], ["json"], ["prom"] and ["prometheus"]. *)
+
+val format_to_string : format -> string
+
+val render : format -> Metrics.sample list -> string
+
+val to_table : Metrics.sample list -> string
+(** Aligned human-readable table; histograms get one indented row per
+    bucket (cumulative [<=] counts). *)
+
+val to_json_lines : Metrics.sample list -> string
+(** One JSON object per line, e.g.
+    [{"name":"ddm_mc_samples_total","type":"counter","value":200000}].
+    Histogram bucket counts are cumulative with an explicit ["+Inf"]
+    bucket, mirroring the Prometheus exposition. *)
+
+val to_prometheus : Metrics.sample list -> string
+(** Prometheus text exposition format (version 0.0.4). *)
+
+val json_of_samples : Metrics.sample list -> string
+(** A single JSON object grouping the snapshot by kind:
+    [{"counters":{...},"gauges":{...},"histograms":{...}}].  Used by
+    [bench --report]. *)

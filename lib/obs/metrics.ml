@@ -1,0 +1,138 @@
+(* Process-global metrics registry.  Counters, gauges and histograms are
+   plain mutable records found-or-created once at module-init time; every
+   update is gated on the single [on] flag so the disabled path is one
+   load-and-branch with no allocation. *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  bounds : float array; (* strictly increasing upper bounds *)
+  counts : int array; (* length bounds + 1; last slot is the +Inf overflow *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+type registered = { metric : metric; help : string }
+
+let on = ref false
+let set_enabled b = on := b
+let enabled () = !on
+
+let registry : (string, registered) Hashtbl.t = Hashtbl.create 64
+
+let register name help metric =
+  Hashtbl.add registry name { metric; help };
+  metric
+
+let kind_mismatch name =
+  invalid_arg (Printf.sprintf "Metrics: %S is already registered with a different kind" name)
+
+let counter ?(help = "") name =
+  match Hashtbl.find_opt registry name with
+  | Some { metric = C c; _ } -> c
+  | Some _ -> kind_mismatch name
+  | None -> (
+    match register name help (C { c_name = name; c_value = 0 }) with
+    | C c -> c
+    | _ -> assert false)
+
+let gauge ?(help = "") name =
+  match Hashtbl.find_opt registry name with
+  | Some { metric = G g; _ } -> g
+  | Some _ -> kind_mismatch name
+  | None -> (
+    match register name help (G { g_name = name; g_value = 0. }) with
+    | G g -> g
+    | _ -> assert false)
+
+let check_bounds name bounds =
+  let k = Array.length bounds in
+  if k = 0 then invalid_arg (Printf.sprintf "Metrics.histogram %S: empty bounds" name);
+  for i = 1 to k - 1 do
+    if not (bounds.(i) > bounds.(i - 1)) then
+      invalid_arg (Printf.sprintf "Metrics.histogram %S: bounds must be strictly increasing" name)
+  done
+
+let histogram ?(help = "") ~buckets name =
+  match Hashtbl.find_opt registry name with
+  | Some { metric = H h; _ } ->
+    if h.bounds <> buckets then
+      invalid_arg (Printf.sprintf "Metrics.histogram %S: bounds differ from registration" name);
+    h
+  | Some _ -> kind_mismatch name
+  | None -> (
+    check_bounds name buckets;
+    let h =
+      {
+        h_name = name;
+        bounds = Array.copy buckets;
+        counts = Array.make (Array.length buckets + 1) 0;
+        h_sum = 0.;
+        h_count = 0;
+      }
+    in
+    match register name help (H h) with H h -> h | _ -> assert false)
+
+let incr c = if !on then c.c_value <- c.c_value + 1
+
+let add c k =
+  if !on then begin
+    if k < 0 then invalid_arg (Printf.sprintf "Metrics.add %S: negative increment" c.c_name);
+    c.c_value <- c.c_value + k
+  end
+
+let set g v = if !on then g.g_value <- v
+
+let observe h v =
+  if !on then begin
+    let k = Array.length h.bounds in
+    let i = ref 0 in
+    while !i < k && v > h.bounds.(!i) do
+      Stdlib.incr i
+    done;
+    h.counts.(!i) <- h.counts.(!i) + 1;
+    h.h_sum <- h.h_sum +. v;
+    h.h_count <- h.h_count + 1
+  end
+
+let counter_value c = c.c_value
+let gauge_value g = g.g_value
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { bounds : float array; counts : int array; sum : float; count : int }
+
+type sample = { name : string; help : string; value : value }
+
+let sample_of name { metric; help } =
+  let value =
+    match metric with
+    | C c -> Counter_v c.c_value
+    | G g -> Gauge_v g.g_value
+    | H h ->
+      Histogram_v
+        { bounds = Array.copy h.bounds; counts = Array.copy h.counts; sum = h.h_sum; count = h.h_count }
+  in
+  { name; help; value }
+
+let snapshot () =
+  Hashtbl.fold (fun name r acc -> sample_of name r :: acc) registry []
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let find name = Option.map (sample_of name) (Hashtbl.find_opt registry name)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ { metric; _ } ->
+      match metric with
+      | C c -> c.c_value <- 0
+      | G g -> g.g_value <- 0.
+      | H h ->
+        Array.fill h.counts 0 (Array.length h.counts) 0;
+        h.h_sum <- 0.;
+        h.h_count <- 0)
+    registry

@@ -1,0 +1,88 @@
+type span = { name : string; depth : int; start_s : float; dur_s : float }
+
+let on = ref false
+let set_enabled b = on := b
+let enabled () = !on
+let now_s () = Unix.gettimeofday ()
+
+let max_recorded = 10_000
+let recorded : span list ref = ref [] (* completion order, newest first *)
+let n_recorded = ref 0
+let n_dropped = ref 0
+let depth = ref 0
+
+let dropped () = !n_dropped
+
+let clear () =
+  recorded := [];
+  n_recorded := 0;
+  n_dropped := 0;
+  depth := 0
+
+let record s =
+  if !n_recorded < max_recorded then begin
+    recorded := s :: !recorded;
+    incr n_recorded
+  end
+  else incr n_dropped
+
+let with_span name f =
+  if not !on then f ()
+  else begin
+    let d = !depth in
+    incr depth;
+    let start_s = now_s () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur_s = now_s () -. start_s in
+        decr depth;
+        record { name; depth = d; start_s; dur_s })
+      f
+  end
+
+let spans () =
+  List.stable_sort
+    (fun a b -> compare (a.start_s, a.depth) (b.start_s, b.depth))
+    (List.rev !recorded)
+
+let pp_duration dur =
+  if dur >= 1. then Printf.sprintf "%8.3f s " dur
+  else if dur >= 1e-3 then Printf.sprintf "%8.3f ms" (dur *. 1e3)
+  else Printf.sprintf "%8.3f us" (dur *. 1e6)
+
+let report () =
+  let buf = Buffer.create 1024 in
+  let all = spans () in
+  let tree_cap = 100 in
+  Buffer.add_string buf
+    (Printf.sprintf "trace: %d span%s recorded%s\n" !n_recorded
+       (if !n_recorded = 1 then "" else "s")
+       (if !n_dropped > 0 then Printf.sprintf " (%d dropped)" !n_dropped else ""));
+  List.iteri
+    (fun i s ->
+      if i < tree_cap then
+        Buffer.add_string buf
+          (Printf.sprintf "  %s  %s%s\n" (pp_duration s.dur_s) (String.make (2 * s.depth) ' ')
+             s.name))
+    all;
+  if !n_recorded > tree_cap then
+    Buffer.add_string buf (Printf.sprintf "  ... (%d more)\n" (!n_recorded - tree_cap));
+  if all <> [] then begin
+    let agg = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        let calls, total =
+          Option.value ~default:(0, 0.) (Hashtbl.find_opt agg s.name)
+        in
+        Hashtbl.replace agg s.name (calls + 1, total +. s.dur_s))
+      all;
+    Buffer.add_string buf
+      (Printf.sprintf "  %-32s %8s %12s %12s\n" "by name" "calls" "total" "mean");
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) agg []
+    |> List.sort (fun (_, (_, a)) (_, (_, b)) -> compare b a)
+    |> List.iter (fun (name, (calls, total)) ->
+         Buffer.add_string buf
+           (Printf.sprintf "  %-32s %8d %s %s\n" name calls (pp_duration total)
+              (pp_duration (total /. float_of_int calls))))
+  end;
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** Lightweight span tracing.
+
+    [with_span name f] times [f ()] with wall-clock timestamps and records
+    a completed span; spans nest, and the recorded depth reconstructs the
+    call tree.  Tracing is off by default and the disabled path is a single
+    branch — no clock reads, no allocation. *)
+
+type span = {
+  name : string;
+  depth : int;  (** nesting depth at entry; 0 for top-level spans *)
+  start_s : float;  (** wall-clock seconds (Unix epoch) at entry *)
+  dur_s : float;  (** wall-clock duration in seconds *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Runs the thunk; when tracing is enabled, records a span even if the
+    thunk raises (the exception is re-raised). *)
+
+val now_s : unit -> float
+(** Wall-clock seconds; exposed so instrumented libraries can time code
+    without depending on [unix] themselves. *)
+
+val spans : unit -> span list
+(** Completed spans in chronological (start-time) order.  At most
+    {!max_recorded} spans are kept; see {!dropped}. *)
+
+val max_recorded : int
+val dropped : unit -> int
+
+val clear : unit -> unit
+(** Forget recorded spans (the enable switch is untouched). *)
+
+val report : unit -> string
+(** Human-readable report: an indented chronological tree of spans (capped)
+    followed by per-name aggregate counts and total durations. *)

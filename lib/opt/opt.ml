@@ -1,5 +1,20 @@
+let fevals =
+  Metrics.counter ~help:"Objective-function evaluations across all optimizers"
+    "ddm_opt_fevals_total"
+
+let nm_iterations =
+  Metrics.counter ~help:"Nelder-Mead simplex iterations" "ddm_opt_nm_iterations_total"
+
+let golden_iterations =
+  Metrics.counter ~help:"Golden-section search iterations" "ddm_opt_golden_iterations_total"
+
+let ca_sweeps =
+  Metrics.counter ~help:"Coordinate-ascent sweeps over the full coordinate set"
+    "ddm_opt_ca_sweeps_total"
+
 let grid_max ~f ~lo ~hi ~points =
   if points < 2 then invalid_arg "Opt.grid_max: points";
+  Metrics.add fevals points;
   let best_x = ref lo and best_v = ref (f lo) in
   for i = 1 to points - 1 do
     let x = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (points - 1)) in
@@ -36,6 +51,9 @@ let golden_section ~f ~lo ~hi ?(tol = 1e-12) ?(max_iter = 200) () =
     end;
     incr iter
   done;
+  Metrics.add golden_iterations !iter;
+  (* two probes up front, one per iteration, one final midpoint *)
+  Metrics.add fevals (!iter + 3);
   let x = (!a +. !b) /. 2. in
   (x, f x)
 
@@ -75,7 +93,10 @@ let nelder_mead ~f ~x0 ?(scale = 0.1) ?(tol = 1e-10) ?(max_iter = 5000) () =
   let n = Array.length x0 in
   if n = 0 then invalid_arg "Opt.nelder_mead: empty start";
   (* Maximize f by minimizing -f. *)
-  let g x = -.f x in
+  let g x =
+    Metrics.incr fevals;
+    -.f x
+  in
   let simplex =
     Array.init (n + 1) (fun i ->
       let p = Array.copy x0 in
@@ -143,6 +164,7 @@ let nelder_mead ~f ~x0 ?(scale = 0.1) ?(tol = 1e-10) ?(max_iter = 5000) () =
     end;
     incr iter
   done;
+  Metrics.add nm_iterations !iter;
   let idx = order () in
   (Array.copy simplex.(idx.(0)), -.values.(idx.(0)))
 
@@ -173,4 +195,5 @@ let coordinate_ascent ~f ~x0 ~bounds ?(sweeps = 20) ?(tol = 1e-11) () =
     done;
     incr sweep
   done;
+  Metrics.add ca_sweeps !sweep;
   (x, !value)

@@ -69,6 +69,7 @@ type max_result = { argmax : Rat.t; value : Rat.t; stationaries : stationary lis
 let default_eps = Rat.of_string "1/1000000000000000000000000000000"
 
 let maximize ?(eps = default_eps) t =
+  Trace.with_span "piecewise.maximize" @@ fun () ->
   let endpoint_candidates =
     List.concat_map (fun p -> [ (p.lo, Poly.eval p.poly p.lo); (p.hi, Poly.eval p.poly p.hi) ]) t
   in

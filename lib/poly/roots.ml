@@ -2,6 +2,14 @@
 
 type enclosure = { lo : Rat.t; hi : Rat.t }
 
+let sturm_chains =
+  Metrics.counter ~help:"Sturm chains constructed during root isolation"
+    "ddm_roots_sturm_chains_total"
+
+let bisections =
+  Metrics.counter ~help:"Interval bisection steps during root isolation and refinement"
+    "ddm_roots_bisections_total"
+
 let squarefree p =
   if Poly.degree p <= 0 then p
   else begin
@@ -12,6 +20,7 @@ let squarefree p =
 let sturm_chain p =
   if Poly.is_zero p then []
   else begin
+    Metrics.incr sturm_chains;
     let rec go acc p0 p1 =
       if Poly.is_zero p1 then List.rev acc
       else begin
@@ -76,6 +85,7 @@ let rec isolate p ~lo ~hi =
       if c = 0 then acc
       else if c = 1 then { lo = a; hi = b } :: acc
       else begin
+        Metrics.incr bisections;
         let m = Rat.mid a b in
         if Rat.is_zero (Poly.eval p m) then begin
           let stripped = strip_root p m in
@@ -113,6 +123,7 @@ let refine p e ~eps =
     let rec go lo hi =
       if Rat.compare (Rat.sub hi lo) eps < 0 then { lo; hi }
       else begin
+        Metrics.incr bisections;
         let m = Rat.mid lo hi in
         let s_m = Rat.sign (Poly.eval p m) in
         if s_m = 0 then { lo = m; hi = m }

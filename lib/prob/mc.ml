@@ -1,15 +1,39 @@
 type estimate = { mean : float; stderr : float; ci95 : float * float; samples : int }
 
+let samples_total =
+  Metrics.counter ~help:"Monte-Carlo plays drawn across all runs" "ddm_mc_samples_total"
+
+let wins_total =
+  Metrics.counter ~help:"Monte-Carlo plays on which the probed event occurred" "ddm_mc_wins_total"
+
+let plays_per_sec =
+  Metrics.gauge ~help:"Throughput of the most recent Monte-Carlo run" "ddm_mc_plays_per_sec"
+
+let run_seconds =
+  Metrics.histogram ~help:"Wall-clock duration of Monte-Carlo runs"
+    ~buckets:[| 0.001; 0.01; 0.1; 1.; 10. |]
+    "ddm_mc_run_seconds"
+
+let finish_run ~t0 ~samples ~hits =
+  let dt = Trace.now_s () -. t0 in
+  Metrics.add samples_total samples;
+  Metrics.add wins_total hits;
+  Metrics.observe run_seconds dt;
+  if dt > 0. then Metrics.set plays_per_sec (float_of_int samples /. dt)
+
 let pp_estimate fmt e =
   let lo, hi = e.ci95 in
   Format.fprintf fmt "%.6f ± %.6f [%.6f, %.6f] (n=%d)" e.mean e.stderr lo hi e.samples
 
 let probability ~rng ~samples f =
   if samples <= 0 then invalid_arg "Mc.probability: samples";
+  Trace.with_span "mc.probability" @@ fun () ->
+  let t0 = if !Metrics.on then Trace.now_s () else 0. in
   let hits = ref 0 in
   for _ = 1 to samples do
     if f rng then incr hits
   done;
+  if !Metrics.on then finish_run ~t0 ~samples ~hits:!hits;
   let n = float_of_int samples in
   let p = float_of_int !hits /. n in
   let stderr = sqrt (p *. (1. -. p) /. n) in
@@ -18,10 +42,13 @@ let probability ~rng ~samples f =
 
 let expectation ~rng ~samples f =
   if samples <= 0 then invalid_arg "Mc.expectation: samples";
+  Trace.with_span "mc.expectation" @@ fun () ->
+  let t0 = if !Metrics.on then Trace.now_s () else 0. in
   let acc = ref Stats.empty in
   for _ = 1 to samples do
     acc := Stats.add !acc (f rng)
   done;
+  if !Metrics.on then finish_run ~t0 ~samples ~hits:0;
   let mean = Stats.mean !acc in
   let stderr = Stats.stderr_of_mean !acc in
   { mean; stderr; ci95 = (mean -. (1.96 *. stderr), mean +. (1.96 *. stderr)); samples }

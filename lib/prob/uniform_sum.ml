@@ -3,6 +3,11 @@
 
 let clamp01 v = if v < 0. then 0. else if v > 1. then 1. else v
 
+let ie_terms =
+  Metrics.counter
+    ~help:"Inclusion-exclusion terms expanded by the uniform-sum laws (Lemmas 2.4-2.7)"
+    "ddm_ie_terms_total"
+
 (* ---------------- exact versions ---------------- *)
 
 let check_nonneg name a =
@@ -15,6 +20,7 @@ let cdf ~widths t =
   if m = 0 then if Rat.sign t >= 0 then Rat.one else Rat.zero
   else if Rat.sign t <= 0 then Rat.zero
   else begin
+    Metrics.add ie_terms (1 lsl m);
     let sum =
       Combinat.fold_subset_sums_gen ~add:Rat.add ~sub:Rat.sub ~zero:Rat.zero widths ~init:Rat.zero
         ~f:(fun acc ~size ~sum ->
@@ -35,6 +41,7 @@ let pdf ~widths t =
   if m = 0 then invalid_arg "Uniform_sum.pdf: degenerate distribution";
   if Rat.sign t <= 0 then Rat.zero
   else begin
+    Metrics.add ie_terms (1 lsl m);
     let sum =
       Combinat.fold_subset_sums_gen ~add:Rat.add ~sub:Rat.sub ~zero:Rat.zero widths ~init:Rat.zero
         ~f:(fun acc ~size ~sum ->
@@ -71,6 +78,7 @@ let cdf_float ~widths t =
   if m = 0 then if t >= 0. then 1. else 0.
   else if t <= 0. then 0.
   else begin
+    Metrics.add ie_terms (1 lsl m);
     let sum =
       Combinat.fold_subset_sums widths ~init:0. ~f:(fun acc ~size ~sum ->
         if sum < t then begin
@@ -88,6 +96,7 @@ let pdf_float ~widths t =
   if m = 0 then invalid_arg "Uniform_sum.pdf_float: degenerate distribution";
   if t <= 0. then 0.
   else begin
+    Metrics.add ie_terms (1 lsl m);
     let sum =
       Combinat.fold_subset_sums widths ~init:0. ~f:(fun acc ~size ~sum ->
         if sum < t then begin
@@ -112,6 +121,7 @@ let cdf_equal ~m ~width t =
   if m = 0 || Rat.is_zero width then if Rat.sign t >= 0 then Rat.one else Rat.zero
   else if Rat.sign t <= 0 then Rat.zero
   else begin
+    Metrics.add ie_terms (m + 1);
     let acc = ref Rat.zero in
     for j = 0 to m do
       let shift = Rat.mul_int width j in
@@ -130,6 +140,7 @@ let cdf_equal_float ~m ~width t =
   if m = 0 || width <= 0. then if t >= 0. then 1. else 0.
   else if t <= 0. then 0.
   else begin
+    Metrics.add ie_terms (m + 1);
     let acc = ref 0. in
     for j = 0 to m do
       let shift = width *. float_of_int j in
@@ -158,6 +169,7 @@ let irwin_hall_pdf_float ~m t =
   if m <= 0 then invalid_arg "Uniform_sum.irwin_hall_pdf_float: m";
   if t <= 0. || t >= float_of_int m then 0.
   else begin
+    Metrics.add ie_terms (m + 1);
     let acc = ref 0. in
     for j = 0 to m do
       let shift = float_of_int j in

@@ -229,6 +229,14 @@ let engine_tests =
       in
       Alcotest.(check bool) "improves" true (best_v >= start);
       Alcotest.(check bool) "lands near 0.62" true (abs_float (best_x.(0) -. 0.622) < 0.05));
+    Alcotest.test_case "grid too large error names points and n" `Quick (fun () ->
+      let pat = Comm_pattern.none ~n:3 in
+      let proto = Dist_protocol.common_threshold ~n:3 0.5 in
+      Alcotest.check_raises "message pins points/n"
+        (Invalid_argument
+           "Engine.win_probability_grid: grid too large (points = 2000, n = 3 gives 8e+09 \
+            cells > 1e8)")
+        (fun () -> ignore (Engine.win_probability_grid ~points:2000 ~delta:1. pat proto)));
   ]
 
 (* ------------------------- Py91 ladder ------------------------- *)

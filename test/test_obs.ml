@@ -1,0 +1,399 @@
+(* Tests for the observability stack: the metrics registry, span tracing,
+   the exporters (golden output), and an end-to-end check that `ddm ...
+   --metrics json` emits parseable JSON. *)
+
+(* The registry and the trace buffer are process-global; every test that
+   flips an enable switch restores it so tests stay order-independent. *)
+let with_metrics f =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) f
+
+let with_tracing f =
+  Trace.clear ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.clear ())
+    f
+
+(* ------------------------- minimal JSON validator ------------------------- *)
+
+(* Just enough of a recursive-descent JSON parser to decide validity; the
+   exporters are hand-rolled (no yojson in the build), so the tests
+   double-check the output really is JSON and not merely JSON-shaped. *)
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail () = raise_notrace Exit in
+  let peek () = if !pos < n then s.[!pos] else fail () in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let lit l =
+    let k = String.length l in
+    if !pos + k <= n && String.sub s !pos k = l then pos := !pos + k else fail ()
+  in
+  let string_lit () =
+    if peek () <> '"' then fail ();
+    incr pos;
+    let rec go () =
+      match peek () with
+      | '"' -> incr pos
+      | '\\' ->
+        pos := !pos + 2;
+        go ()
+      | _ ->
+        incr pos;
+        go ()
+    in
+    go ()
+  in
+  let number () =
+    let is_num = function '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false in
+    if not (is_num (peek ())) then fail ();
+    while !pos < n && is_num s.[!pos] do
+      incr pos
+    done
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = '}' then incr pos
+      else
+        let rec members () =
+          skip_ws ();
+          string_lit ();
+          skip_ws ();
+          if peek () <> ':' then fail ();
+          incr pos;
+          value ();
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            incr pos;
+            members ()
+          | '}' -> incr pos
+          | _ -> fail ()
+        in
+        members ()
+    | '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = ']' then incr pos
+      else
+        let rec elems () =
+          value ();
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            incr pos;
+            elems ()
+          | ']' -> incr pos
+          | _ -> fail ()
+        in
+        elems ()
+    | '"' -> string_lit ()
+    | 't' -> lit "true"
+    | 'f' -> lit "false"
+    | 'n' -> lit "null"
+    | _ -> number ()
+  in
+  try
+    value ();
+    skip_ws ();
+    !pos = n
+  with Exit -> false
+
+let validator_tests =
+  [
+    Alcotest.test_case "json validator sanity" `Quick (fun () ->
+      List.iter
+        (fun s -> Alcotest.(check bool) ("valid: " ^ s) true (json_valid s))
+        [
+          "{}"; "[]"; "3"; "-2.5e-3"; "\"a\\\"b\"";
+          "{\"a\":[1,2,{\"b\":null}],\"c\":true}";
+        ];
+      List.iter
+        (fun s -> Alcotest.(check bool) ("invalid: " ^ s) false (json_valid s))
+        [ ""; "{"; "{\"a\":}"; "[1,]"; "{\"a\":1} trailing"; "nul" ]);
+  ]
+
+(* ------------------------------ metrics ------------------------------ *)
+
+let metric_tests =
+  [
+    Alcotest.test_case "disabled updates are no-ops" `Quick (fun () ->
+      Metrics.reset ();
+      Metrics.set_enabled false;
+      let c = Metrics.counter "test_obs_off_total" in
+      let g = Metrics.gauge "test_obs_off_gauge" in
+      let h = Metrics.histogram ~buckets:[| 1. |] "test_obs_off_seconds" in
+      Metrics.incr c;
+      Metrics.add c 10;
+      Metrics.set g 3.5;
+      Metrics.observe h 0.5;
+      Alcotest.(check int) "counter untouched" 0 (Metrics.counter_value c);
+      Alcotest.(check (float 0.)) "gauge untouched" 0. (Metrics.gauge_value g);
+      match Metrics.find "test_obs_off_seconds" with
+      | Some { value = Metrics.Histogram_v { count; _ }; _ } ->
+        Alcotest.(check int) "histogram untouched" 0 count
+      | _ -> Alcotest.fail "histogram not registered");
+    Alcotest.test_case "counter incr/add and reset" `Quick (fun () ->
+      with_metrics (fun () ->
+        let c = Metrics.counter ~help:"h" "test_obs_c_total" in
+        Metrics.incr c;
+        Metrics.add c 5;
+        Alcotest.(check int) "value" 6 (Metrics.counter_value c);
+        Alcotest.check_raises "negative add"
+          (Invalid_argument "Metrics.add \"test_obs_c_total\": negative increment") (fun () ->
+            Metrics.add c (-1));
+        Metrics.reset ();
+        Alcotest.(check int) "reset zeroes" 0 (Metrics.counter_value c)));
+    Alcotest.test_case "registration is idempotent and shares by name" `Quick (fun () ->
+      with_metrics (fun () ->
+        let a = Metrics.counter "test_obs_shared_total" in
+        let b = Metrics.counter "test_obs_shared_total" in
+        Metrics.incr a;
+        Metrics.incr b;
+        Alcotest.(check int) "both hit the same counter" 2 (Metrics.counter_value a);
+        Alcotest.(check bool) "physically equal" true (a == b)));
+    Alcotest.test_case "kind and bounds mismatches are rejected" `Quick (fun () ->
+      ignore (Metrics.counter "test_obs_kind_total");
+      Alcotest.check_raises "gauge over counter"
+        (Invalid_argument "Metrics: \"test_obs_kind_total\" is already registered with a different kind")
+        (fun () -> ignore (Metrics.gauge "test_obs_kind_total"));
+      ignore (Metrics.histogram ~buckets:[| 1.; 2. |] "test_obs_hb_seconds");
+      Alcotest.check_raises "different bounds"
+        (Invalid_argument "Metrics.histogram \"test_obs_hb_seconds\": bounds differ from registration")
+        (fun () -> ignore (Metrics.histogram ~buckets:[| 1.; 3. |] "test_obs_hb_seconds"));
+      Alcotest.check_raises "empty bounds"
+        (Invalid_argument "Metrics.histogram \"test_obs_empty\": empty bounds") (fun () ->
+          ignore (Metrics.histogram ~buckets:[||] "test_obs_empty"));
+      Alcotest.check_raises "non-increasing bounds"
+        (Invalid_argument "Metrics.histogram \"test_obs_dec\": bounds must be strictly increasing")
+        (fun () -> ignore (Metrics.histogram ~buckets:[| 2.; 1. |] "test_obs_dec")));
+    Alcotest.test_case "gauge moves both ways" `Quick (fun () ->
+      with_metrics (fun () ->
+        let g = Metrics.gauge "test_obs_g" in
+        Metrics.set g 7.25;
+        Metrics.set g (-1.5);
+        Alcotest.(check (float 0.)) "last write wins" (-1.5) (Metrics.gauge_value g)));
+    Alcotest.test_case "histogram le-bucket semantics" `Quick (fun () ->
+      with_metrics (fun () ->
+        let h = Metrics.histogram ~buckets:[| 1.; 2. |] "test_obs_h_seconds" in
+        (* le semantics: an observation equal to a bound lands in that bucket *)
+        Metrics.observe h 1.0;
+        Metrics.observe h 1.5;
+        Metrics.observe h 5.0;
+        match Metrics.find "test_obs_h_seconds" with
+        | Some { value = Metrics.Histogram_v { bounds; counts; sum; count }; _ } ->
+          Alcotest.(check (array (float 0.))) "bounds" [| 1.; 2. |] bounds;
+          Alcotest.(check (array int)) "per-bucket counts" [| 1; 1; 1 |] counts;
+          Alcotest.(check (float 1e-12)) "sum" 7.5 sum;
+          Alcotest.(check int) "count" 3 count
+        | _ -> Alcotest.fail "histogram not found"));
+    Alcotest.test_case "snapshot is sorted and find misses cleanly" `Quick (fun () ->
+      let names = List.map (fun (s : Metrics.sample) -> s.name) (Metrics.snapshot ()) in
+      Alcotest.(check (list string)) "sorted by name" (List.sort compare names) names;
+      Alcotest.(check bool) "find miss" true (Metrics.find "test_obs_no_such_metric" = None));
+  ]
+
+(* ------------------------------- trace ------------------------------- *)
+
+let trace_tests =
+  [
+    Alcotest.test_case "disabled tracing records nothing" `Quick (fun () ->
+      Trace.set_enabled false;
+      Trace.clear ();
+      let r = Trace.with_span "off" (fun () -> 41 + 1) in
+      Alcotest.(check int) "value passes through" 42 r;
+      Alcotest.(check int) "no spans" 0 (List.length (Trace.spans ())));
+    Alcotest.test_case "spans nest and time" `Quick (fun () ->
+      with_tracing (fun () ->
+        let r = Trace.with_span "outer" (fun () -> Trace.with_span "inner" (fun () -> 7)) in
+        Alcotest.(check int) "value" 7 r;
+        match Trace.spans () with
+        | [ outer; inner ] ->
+          Alcotest.(check string) "outer first (chronological)" "outer" outer.Trace.name;
+          Alcotest.(check string) "inner second" "inner" inner.Trace.name;
+          Alcotest.(check int) "outer depth" 0 outer.Trace.depth;
+          Alcotest.(check int) "inner depth" 1 inner.Trace.depth;
+          Alcotest.(check bool) "durations nonneg" true
+            (outer.Trace.dur_s >= 0. && inner.Trace.dur_s >= 0.);
+          Alcotest.(check bool) "inner within outer" true
+            (inner.Trace.dur_s <= outer.Trace.dur_s +. 1e-9)
+        | spans -> Alcotest.fail (Printf.sprintf "expected 2 spans, got %d" (List.length spans))));
+    Alcotest.test_case "spans survive exceptions" `Quick (fun () ->
+      with_tracing (fun () ->
+        Alcotest.check_raises "re-raised" Exit (fun () ->
+          Trace.with_span "boom" (fun () -> raise Exit));
+        match Trace.spans () with
+        | [ s ] -> Alcotest.(check string) "recorded anyway" "boom" s.Trace.name
+        | _ -> Alcotest.fail "expected exactly one span"));
+    Alcotest.test_case "report mentions the span and its aggregate" `Quick (fun () ->
+      with_tracing (fun () ->
+        Trace.with_span "report_me" (fun () -> ());
+        Trace.with_span "report_me" (fun () -> ());
+        let rep = Trace.report () in
+        let contains hay needle =
+          let lh = String.length hay and ln = String.length needle in
+          let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "names the span" true (contains rep "report_me")));
+  ]
+
+(* ------------------------------ exporters ------------------------------ *)
+
+(* Golden tests build the sample list by hand: the live registry's contents
+   depend on which modules the binary happens to link, so snapshots are not
+   stable input for pinned output. *)
+let golden_samples =
+  [
+    { Metrics.name = "t_requests_total"; help = "Requests served"; value = Metrics.Counter_v 3 };
+    { Metrics.name = "t_temperature"; help = ""; value = Metrics.Gauge_v 2.5 };
+    {
+      Metrics.name = "t_latency_seconds";
+      help = "Latency";
+      value =
+        Metrics.Histogram_v
+          { bounds = [| 0.1; 1. |]; counts = [| 1; 2; 3 |]; sum = 4.5; count = 6 };
+    };
+  ]
+
+let export_tests =
+  [
+    Alcotest.test_case "prometheus golden" `Quick (fun () ->
+      let expected =
+        "# HELP t_requests_total Requests served\n\
+         # TYPE t_requests_total counter\n\
+         t_requests_total 3\n\
+         # TYPE t_temperature gauge\n\
+         t_temperature 2.5\n\
+         # HELP t_latency_seconds Latency\n\
+         # TYPE t_latency_seconds histogram\n\
+         t_latency_seconds_bucket{le=\"0.1\"} 1\n\
+         t_latency_seconds_bucket{le=\"1\"} 3\n\
+         t_latency_seconds_bucket{le=\"+Inf\"} 6\n\
+         t_latency_seconds_sum 4.5\n\
+         t_latency_seconds_count 6\n"
+      in
+      Alcotest.(check string) "exposition" expected (Export.to_prometheus golden_samples));
+    Alcotest.test_case "json-lines golden and valid" `Quick (fun () ->
+      let expected =
+        "{\"name\":\"t_requests_total\",\"help\":\"Requests served\",\"type\":\"counter\",\"value\":3}\n\
+         {\"name\":\"t_temperature\",\"type\":\"gauge\",\"value\":2.5}\n\
+         {\"name\":\"t_latency_seconds\",\"help\":\"Latency\",\"type\":\"histogram\",\"count\":6,\"sum\":4.5,\"buckets\":[{\"le\":0.1,\"count\":1},{\"le\":1,\"count\":3},{\"le\":\"+Inf\",\"count\":6}]}\n"
+      in
+      let got = Export.to_json_lines golden_samples in
+      Alcotest.(check string) "lines" expected got;
+      String.split_on_char '\n' got
+      |> List.filter (fun l -> l <> "")
+      |> List.iter (fun l -> Alcotest.(check bool) ("parses: " ^ l) true (json_valid l)));
+    Alcotest.test_case "bench report JSON golden and valid" `Quick (fun () ->
+      let expected =
+        "{\"counters\":{\"t_requests_total\":3},\"gauges\":{\"t_temperature\":2.5},\"histograms\":{\"t_latency_seconds\":{\"count\":6,\"sum\":4.5,\"buckets\":[{\"le\":0.1,\"count\":1},{\"le\":1,\"count\":3},{\"le\":\"+Inf\",\"count\":6}]}}}"
+      in
+      let got = Export.json_of_samples golden_samples in
+      Alcotest.(check string) "grouped object" expected got;
+      Alcotest.(check bool) "parses" true (json_valid got));
+    Alcotest.test_case "table lists every metric with cumulative buckets" `Quick (fun () ->
+      let t = Export.to_table golden_samples in
+      let contains needle =
+        let lh = String.length t and ln = String.length needle in
+        let rec go i = i + ln <= lh && (String.sub t i ln = needle || go (i + 1)) in
+        go 0
+      in
+      List.iter
+        (fun needle -> Alcotest.(check bool) ("contains: " ^ needle) true (contains needle))
+        [
+          "metric"; "t_requests_total"; "counter    3"; "t_temperature"; "gauge      2.5";
+          "count=6 sum=4.5 mean=0.75"; "le <= 0.1"; "le <= +Inf";
+        ]);
+    Alcotest.test_case "format names round-trip" `Quick (fun () ->
+      List.iter
+        (fun fmt ->
+          Alcotest.(check bool) "round-trips" true
+            (Export.format_of_string (Export.format_to_string fmt) = Some fmt))
+        [ Export.Table; Export.Json; Export.Prometheus ];
+      Alcotest.(check bool) "prometheus alias" true
+        (Export.format_of_string "prometheus" = Some Export.Prometheus);
+      Alcotest.(check bool) "unknown rejected" true (Export.format_of_string "xml" = None));
+  ]
+
+(* ----------------------------- integration ----------------------------- *)
+
+(* dune runtest runs from _build/default/test, and test/dune declares the
+   ddm executable as a dep, so the relative path is reliable there; the
+   second candidate keeps `dune exec test/test_obs.exe` from the project
+   root working too. *)
+let ddm_exe =
+  let candidates =
+    [
+      Filename.concat ".." (Filename.concat "bin" "ddm.exe");
+      Filename.concat "_build" (Filename.concat "default" (Filename.concat "bin" "ddm.exe"));
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let integration_tests =
+  [
+    Alcotest.test_case "ddm eval --metrics json emits parseable JSON" `Quick (fun () ->
+      let out = "test_obs_eval_metrics.json" in
+      let cmd =
+        Printf.sprintf "%s eval -n 3 --samples 20000 --seed 7 --metrics json > %s 2> %s.err"
+          (Filename.quote ddm_exe) out out
+      in
+      Alcotest.(check int) "exit code" 0 (Sys.command cmd);
+      let lines =
+        read_file out |> String.split_on_char '\n'
+        |> List.filter (fun l -> String.length l > 0 && l.[0] = '{')
+      in
+      Alcotest.(check bool) "has metric lines" true (List.length lines > 3);
+      List.iter
+        (fun l -> Alcotest.(check bool) ("parses: " ^ l) true (json_valid l))
+        lines;
+      let mentions_samples =
+        List.exists
+          (fun l ->
+            let needle = "\"name\":\"ddm_mc_samples_total\"" in
+            let lh = String.length l and ln = String.length needle in
+            let rec go i = i + ln <= lh && (String.sub l i ln = needle || go (i + 1)) in
+            go 0)
+          lines
+      in
+      Alcotest.(check bool) "reports MC samples" true mentions_samples);
+    Alcotest.test_case "ddm rejects nonpositive sizes" `Quick (fun () ->
+      let run args =
+        Sys.command (Printf.sprintf "%s %s > /dev/null 2>&1" (Filename.quote ddm_exe) args)
+      in
+      Alcotest.(check bool) "--samples 0 fails" true (run "eval -n 3 --samples 0" <> 0);
+      Alcotest.(check bool) "-n 0 fails" true (run "oblivious -n 0" <> 0);
+      Alcotest.(check int) "valid run still passes" 0
+        (run "eval -n 3 --samples 1000 --seed 1"));
+  ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("json-validator", validator_tests);
+      ("metrics", metric_tests);
+      ("trace", trace_tests);
+      ("export", export_tests);
+      ("integration", integration_tests);
+    ]
