@@ -22,7 +22,9 @@
      x4         - anonymity ablation: asymmetric threshold vectors
      x5         - capacity sweep: where the threshold/coin inversion lives
      x6         - scaling in n: certified optima to n=12, numeric to n=48
-     x7         - unequal bin capacities (delta0 <> delta1) *)
+     x7         - unequal bin capacities (delta0 <> delta1)
+     x8         - chaos: win-probability degradation and degraded-mode
+                  throughput under crash fault injection *)
 
 let section id title =
   Printf.printf "\n=============================================================\n";
@@ -535,6 +537,65 @@ let x7 () =
   Printf.printf "degenerates to a single bin.\n"
 
 (* ------------------------------------------------------------------ *)
+(* X8: chaos - degradation and degraded-mode throughput                *)
+(* ------------------------------------------------------------------ *)
+
+let x8 () =
+  section "X8" "Chaos: crash-fault degradation of the paper's optimal algorithms (n = 3, delta = 1)";
+  let n = 3 and delta = 1. in
+  let pattern = Comm_pattern.none ~n in
+  let samples = 200_000 in
+  let beta_star = 1. -. (1. /. sqrt 7.) in
+  let protocols =
+    [
+      ("common-threshold(beta*)", Dist_protocol.common_threshold ~n beta_star);
+      ("fair coin (Thm 4.3)", Dist_protocol.fair_coin ~n);
+    ]
+  in
+  Printf.printf
+    "Crashed players dump their input on a stuck default route (bin 0); the win\n\
+     probability degrades while fault bookkeeping taxes the play loop.\n\n";
+  Printf.printf "%-26s %-8s %-12s %-12s %-12s %s\n" "protocol" "crash" "P(win) MC" "exact fold"
+    "plays/sec" "vs fault-free plays/sec";
+  List.iter
+    (fun (name, protocol) ->
+      let clean_rate = ref 0. in
+      List.iter
+        (fun crash ->
+          let faults = Fault_model.make ~crash ~crash_mode:(Fault_model.Default_bin 0) () in
+          let rng = Rng.create ~seed:81 in
+          let t0 = Trace.now_s () in
+          let est =
+            Fault_engine.win_probability_mc ~rng ~samples ~faults ~delta pattern protocol
+          in
+          let dt = Trace.now_s () -. t0 in
+          let rate = if dt > 0. then float_of_int samples /. dt else 0. in
+          if crash = 0. then clean_rate := rate;
+          let exact = Fault_engine.win_probability_grid ~points:64 ~faults ~delta pattern protocol in
+          Printf.printf "%-26s %-8.2f %-12.6f %-12.6f %-12.0f %s\n" name crash est.Mc.mean exact
+            rate
+            (if crash = 0. then "1.00x (baseline)"
+             else Printf.sprintf "%.2fx" (rate /. Float.max 1. !clean_rate)))
+        [ 0.; 0.1; 0.25 ])
+    protocols;
+  (* resilience combinators under lossy links: fallback keeps a
+     link-dependent protocol well-defined when its expected view breaks *)
+  let full = Comm_pattern.full ~n in
+  let wt =
+    Dist_protocol.weighted_threshold
+      ~weights:(Array.make n (Array.make n (1. /. float_of_int n)))
+      ~thresholds:(Array.make n 0.5)
+  in
+  let resilient = Dist_protocol.with_fallback ~expected:full wt in
+  let faults = Fault_model.make ~link_loss:0.3 () in
+  let rng = Rng.create ~seed:82 in
+  let est = Fault_engine.win_probability_mc ~rng ~samples ~faults ~delta full resilient in
+  Printf.printf
+    "\nwith_fallback under 30%% link loss (weighted threshold over full info):\n\
+     %-26s P(win) = %.6f (fallback = fair coin on broken views)\n"
+    (Dist_protocol.name resilient) est.Mc.mean
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -582,6 +643,16 @@ let bechamel () =
            (let pat = Comm_pattern.none ~n:3 in
             let proto = Dist_protocol.common_threshold ~n:3 0.62 in
             fun () -> ignore (Engine.win_probability_grid ~points:48 ~delta:1. pat proto)));
+      Test.make ~name:"x8-faulty-run-once-n3"
+        (Staged.stage
+           (let rng = Rng.create ~seed:8 in
+            let pat = Comm_pattern.none ~n:3 in
+            let proto = Dist_protocol.common_threshold ~n:3 0.62 in
+            let faults =
+              Fault_model.make ~crash:0.1 ~crash_mode:(Fault_model.Default_bin 0) ~link_loss:0.1
+                ~stale:0.05 ~noise:0.01 ~jitter:0.05 ()
+            in
+            fun () -> ignore (Fault_engine.run_once rng ~faults ~delta:1. pat proto)));
       Test.make ~name:"mc-10k-plays-n3"
         (Staged.stage
            (let rng = Rng.create ~seed:7 in
@@ -622,7 +693,7 @@ let groups =
   [
     ("fig1", fig1); ("fig2", fig2); ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4);
     ("l1", l1); ("p1", p1); ("x1", x1); ("x2", x2); ("x3", x3); ("x4", x4);
-    ("x5", x5); ("x6", x6); ("x7", x7);
+    ("x5", x5); ("x6", x6); ("x7", x7); ("x8", x8);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -6,6 +6,7 @@
      curve      - CSV of the winning-probability curve beta |-> P_n(beta)
      eval       - evaluate a given rule exactly and by Monte-Carlo
      simulate   - run the distributed system and report outcome statistics
+     chaos      - fault-injection sweep: win-probability degradation curves
      tradeoff   - oblivious-vs-threshold table across n *)
 
 open Cmdliner
@@ -309,6 +310,131 @@ let banded_cmd =
           with the exact mixture-of-uniforms evaluator.")
     (obs_term Term.(const run $ n_arg $ delta_arg $ params_arg $ samples_arg $ seed_arg))
 
+(* ------------------------- chaos ------------------------- *)
+
+let chaos_cmd =
+  let run n delta rule params samples seed crash crash_mode loss stale noise jitter sweep points
+      csv () =
+    let delta_r = resolve_delta n delta in
+    let deltaf = Rat.to_float delta_r in
+    let protocol =
+      match (rule, params) with
+      | `Threshold, [] ->
+        (* default to the paper's optimal common threshold for the instance *)
+        let res = Symbolic.optimal_sym_threshold ~n ~delta:delta_r () in
+        Dist_protocol.common_threshold ~n (Rat.to_float res.Piecewise.argmax)
+      | `Oblivious, [] -> Dist_protocol.fair_coin ~n
+      | `Threshold, _ -> Dist_protocol.single_threshold (expand_params n params)
+      | `Oblivious, _ -> Dist_protocol.oblivious (expand_params n params)
+    in
+    let rates =
+      match (sweep, crash) with
+      | Some l, _ -> l
+      | None, Some r -> [ r ]
+      | None, None -> [ 0.; 0.05; 0.1; 0.25; 0.5 ]
+    in
+    let model_of rate =
+      Fault_model.make ~crash:rate ~crash_mode ~link_loss:loss ~stale ~noise ~jitter ()
+    in
+    (* budget the exact fold: ~1e8 branch visits across the grid (the fold
+       costs up to 4^n per cell), clamped to the clean engine's 64-point
+       default *)
+    let grid_points =
+      match points with
+      | Some p -> p
+      | None ->
+        let budget = 1e8 /. (4. ** float_of_int n) in
+        int_of_float (Float.min 64. (Float.max 4. (budget ** (1. /. float_of_int n))))
+    in
+    let pattern = Comm_pattern.none ~n in
+    let rng = Rng.create ~seed in
+    let report =
+      Degradation.sweep ~grid_points ~rng ~samples ~rates ~model_of ~delta:deltaf pattern protocol
+    in
+    Printf.printf "instance: n = %d, delta = %s\n" n (Rat.to_string delta_r);
+    Printf.printf "protocol: %s over %s\n" report.Degradation.protocol_name
+      report.Degradation.pattern;
+    Printf.printf "fault model (crash rate swept): %s\n"
+      (Fault_model.to_string (model_of (List.fold_left Float.max 0. rates)));
+    Printf.printf "samples per point: %d, seed %d, grid points %d\n" samples seed grid_points;
+    let blo, bhi = report.Degradation.baseline_mc.Mc.ci95 in
+    Printf.printf "fault-free baseline: exact (grid) = %.6f, MC = %.6f in [%.6f,%.6f], agrees: %b\n"
+      report.Degradation.baseline_exact report.Degradation.baseline_mc.Mc.mean blo bhi
+      report.Degradation.baseline_agrees;
+    Printf.printf "degradation sweep over crash rate:\n";
+    print_string
+      (if csv then Degradation.to_csv report else Degradation.to_table report);
+    if List.length report.Degradation.points > 1 then
+      Printf.printf "degradation monotone (within MC noise): %b\n"
+        (Degradation.monotone_nonincreasing report)
+  in
+  (* fault rates live in [0,1]; reject junk at parse time instead of
+     surfacing Fault_model.validate's exception as an internal error *)
+  let rate_conv what =
+    let parse s =
+      match float_of_string_opt s with
+      | Some v when Float.is_finite v && v >= 0. && v <= 1. -> Ok v
+      | Some v -> Error (`Msg (Printf.sprintf "%s must be in [0,1] (got %g)" what v))
+      | None -> Error (`Msg (Printf.sprintf "bad %s %S: expected a rate in [0,1]" what s))
+    in
+    Arg.conv (parse, fun ppf v -> Format.fprintf ppf "%g" v)
+  in
+  let crash_arg =
+    Arg.(
+      value
+      & opt (some (rate_conv "crash rate")) None
+      & info [ "crash" ] ~docv:"R"
+          ~doc:
+            "Single crash rate to test (overridden by $(b,--sweep); default: sweep 0, 0.05, \
+             0.1, 0.25, 0.5).")
+  in
+  let crash_mode_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("drop", Fault_model.Drop); ("bin0", Fault_model.Default_bin 0);
+               ("bin1", Fault_model.Default_bin 1) ])
+          (Fault_model.Default_bin 0)
+      & info [ "crash-mode" ] ~docv:"MODE"
+          ~doc:
+            "What a crashed player's input does: $(b,bin0)/$(b,bin1) (default bin0: the input \
+             lands on a stuck default route, degrading the balance) or $(b,drop) (the load \
+             vanishes entirely - which actually helps feasibility).")
+  in
+  let rate_arg names doc =
+    Arg.(value & opt (rate_conv (List.hd names ^ " rate")) 0. & info names ~docv:"R" ~doc)
+  in
+  let loss_arg = rate_arg [ "loss" ] "Per-link loss probability (held fixed across the sweep)." in
+  let stale_arg = rate_arg [ "stale" ] "Per-link stale-read probability (held fixed)." in
+  let noise_arg = rate_arg [ "noise" ] "View-perturbation amplitude (held fixed)." in
+  let jitter_arg = rate_arg [ "jitter" ] "Relative bin-capacity jitter amplitude (held fixed)." in
+  let sweep_arg =
+    Arg.(
+      value
+      & opt (some (list (rate_conv "sweep rate"))) None
+      & info [ "sweep" ] ~docv:"R1,R2,..." ~doc:"Crash rates to sweep.")
+  in
+  let points_arg =
+    Arg.(
+      value
+      & opt (some (pos_int "grid points")) None
+      & info [ "points" ] ~docv:"P"
+          ~doc:"Grid points per dimension for the exact baseline/fold (default: auto by n).")
+  in
+  let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Print the sweep as CSV.") in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Fault-injection analysis: sweep a crash rate (plus optional link loss, stale reads, \
+          view noise, capacity jitter) and report the win-probability degradation of the \
+          paper's optimal algorithms against their fault-free baselines.")
+    (obs_term
+       Term.(
+         const run $ n_arg $ delta_arg $ rule_arg $ params_arg $ samples_arg $ seed_arg
+         $ crash_arg $ crash_mode_arg $ loss_arg $ stale_arg $ noise_arg $ jitter_arg $ sweep_arg
+         $ points_arg $ csv_arg))
+
 (* ------------------------- tradeoff ------------------------- *)
 
 let tradeoff_cmd =
@@ -346,5 +472,5 @@ let () =
        (Cmd.group info
           [
             oblivious_cmd; threshold_cmd; certify_cmd; curve_cmd; eval_cmd; banded_cmd;
-            simulate_cmd; tradeoff_cmd;
+            simulate_cmd; chaos_cmd; tradeoff_cmd;
           ]))

@@ -44,4 +44,32 @@ val common_threshold : n:int -> float -> t
 val weighted_threshold : weights:float array array -> thresholds:float array -> t
 (** Player [i] picks bin 0 iff [Σ_j w.(i).(j) · x_j <= thresholds.(i)],
     summing only over inputs visible in the view ([x_i] itself included).
-    This is the Papadimitriou-Yannakakis protocol shape. *)
+    This is the Papadimitriou-Yannakakis protocol shape.
+    @raise Invalid_argument at construction when [weights] and
+    [thresholds] disagree on the player count or a weight row is not
+    square with it. *)
+
+(** {1 Resilient combinators}
+
+    All parametric families above validate their parameter vectors against
+    the deciding player ([Invalid_argument] naming the family, instead of
+    an [Index out of bounds] mid-simulation). The combinators below keep a
+    protocol well-defined when the world misbehaves — missing links,
+    non-finite decision rules — and count every degraded decision in the
+    [ddm_faults_*] metrics family. *)
+
+val with_fallback : expected:Comm_pattern.t -> ?fallback:t -> t -> t
+(** [with_fallback ~expected p] runs [p] on views that reveal every link
+    [expected] promises to the deciding player, and routes incomplete
+    views (lost links, crashed senders — see {!Fault_model}) to
+    [fallback] instead (default: the fair coin, the paper's optimal
+    no-information rule). Fallbacks taken are counted in
+    [ddm_faults_fallbacks_total]. *)
+
+val sanitized : ?default:float -> t -> t
+(** Clamp decide outputs into [[0,1]] and replace non-finite ones (NaN,
+    infinities from a misbehaving rule) by [default] (0.5 unless given),
+    counting replacements in [ddm_faults_sanitized_total]. The unwrapped
+    engine treats a non-finite decide output as a protocol bug and raises;
+    wrap with [sanitized] to degrade gracefully instead.
+    @raise Invalid_argument when [default] is not a finite probability. *)

@@ -17,6 +17,35 @@ let branch_enums =
     ~help:"Decision-vector branches (2^n per conditional evaluation) enumerated by the engine"
     "ddm_engine_branch_enumerations_total"
 
+let retries =
+  Metrics.counter ~help:"Decide evaluations retried after an exception or non-finite output"
+    "ddm_faults_retries_total"
+
+let deadline_exceeded =
+  Metrics.counter ~help:"Decide evaluations abandoned at the retry deadline or attempt cap"
+    "ddm_faults_deadline_exceeded_total"
+
+let retry_under ~deadline_s ?(attempts = 3) ?(default = 0.5) protocol =
+  if not (deadline_s > 0.) then invalid_arg "Engine.retry_under: deadline_s must be positive";
+  if attempts < 1 then invalid_arg "Engine.retry_under: attempts must be >= 1";
+  Dist_protocol.make
+    ~deterministic:(Dist_protocol.is_deterministic protocol)
+    ~name:(Printf.sprintf "%s+retry(%d,%.3gs)" (Dist_protocol.name protocol) attempts deadline_s)
+    (fun v ->
+      let start = Trace.now_s () in
+      let rec go k =
+        match (try Some (Dist_protocol.decide protocol v) with _ -> None) with
+        | Some p when Float.is_finite p -> p
+        | _ ->
+          Metrics.incr retries;
+          if k + 1 >= attempts || Trace.now_s () -. start >= deadline_s then begin
+            Metrics.incr deadline_exceeded;
+            default
+          end
+          else go (k + 1)
+      in
+      go 0)
+
 let views pattern inputs =
   let n = Comm_pattern.n pattern in
   Array.init n (fun i ->
@@ -25,6 +54,20 @@ let views pattern inputs =
       own = inputs.(i);
       others = List.map (fun j -> (j, inputs.(j))) (Comm_pattern.sees pattern i);
     })
+
+(* A NaN here would otherwise poison every downstream aggregate (grid
+   integrals average thousands of cells; one NaN cell wipes the sum), so a
+   non-finite decide output is a protocol bug and raises. Protocols that
+   should survive their own bad outputs opt in via Dist_protocol.sanitized. *)
+let checked_decide ~where protocol v =
+  let p = Dist_protocol.decide protocol v in
+  if Float.is_finite p then p
+  else
+    invalid_arg
+      (Printf.sprintf
+         "Engine.%s: protocol %S returned a non-finite decide output (%h) for player %d (wrap \
+          it with Dist_protocol.sanitized to degrade gracefully)"
+         where (Dist_protocol.name protocol) p v.Dist_protocol.me)
 
 let loads inputs decisions =
   let load0 = ref 0. and load1 = ref 0. in
@@ -41,7 +84,7 @@ let run_once ?(sampler = Rng.float01) rng ~delta pattern protocol =
   let decisions =
     Array.map
       (fun v ->
-        let p = Dist_protocol.decide protocol v in
+        let p = checked_decide ~where:"run_once" protocol v in
         if p >= 1. then 0 else if p <= 0. then 1 else if Rng.bernoulli rng p then 0 else 1)
       vs
   in
@@ -56,9 +99,13 @@ let win_probability_given ~delta pattern protocol inputs =
   let n = Comm_pattern.n pattern in
   Metrics.add branch_enums (1 lsl n);
   let vs = views pattern inputs in
-  (* clamp: custom rules may return values slightly outside [0,1] *)
+  (* clamp: custom rules may return values slightly outside [0,1] (but a
+     non-finite value raises in checked_decide rather than slipping through
+     the clamp as NaN) *)
   let probs =
-    Array.map (fun v -> Float.min 1. (Float.max 0. (Dist_protocol.decide protocol v))) vs
+    Array.map
+      (fun v -> Float.min 1. (Float.max 0. (checked_decide ~where:"win_probability_given" protocol v)))
+      vs
   in
   let total = Array.fold_left ( +. ) 0. inputs in
   (* win <=> total - delta <= load0 <= delta *)

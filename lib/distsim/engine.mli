@@ -16,12 +16,23 @@ type outcome = {
 val views : Comm_pattern.t -> float array -> Dist_protocol.view array
 (** The per-player views induced by a pattern on a given input vector. *)
 
+val retry_under : deadline_s:float -> ?attempts:int -> ?default:float -> Dist_protocol.t -> Dist_protocol.t
+(** Deadline-bounded evaluation: re-invoke a decide rule that raised or
+    returned a non-finite value, up to [attempts] (default 3) tries and a
+    wall-clock budget of [deadline_s] seconds per decision, then give up
+    and answer [default] (0.5). Retries are counted in
+    [ddm_faults_retries_total] and abandoned decisions in
+    [ddm_faults_deadline_exceeded_total].
+    @raise Invalid_argument on a non-positive deadline or attempt count. *)
+
 val run_once :
   ?sampler:(Rng.t -> float) -> Rng.t -> delta:float -> Comm_pattern.t -> Dist_protocol.t -> outcome
 (** One distributed play. [sampler] draws each player's private input
     (default [Rng.float01], the paper's U[0,1] model); supplying another
     sampler exercises the paper's Section 6 direction of "more realistic
-    assumptions on the distribution of inputs". *)
+    assumptions on the distribution of inputs".
+    @raise Invalid_argument when the protocol returns a non-finite decide
+    output (see {!Dist_protocol.sanitized} to degrade instead). *)
 
 val win_probability_mc :
   ?sampler:(Rng.t -> float) ->
@@ -30,7 +41,9 @@ val win_probability_mc :
 val win_probability_given : delta:float -> Comm_pattern.t -> Dist_protocol.t -> float array -> float
 (** Exact win probability conditioned on the input vector: enumerates the
     [2^n] decision vectors with their probabilities (single branch for
-    deterministic protocols). *)
+    deterministic protocols). Decision probabilities slightly outside
+    [[0,1]] are clamped; a non-finite one raises [Invalid_argument] rather
+    than silently poisoning grid integrals with NaN. *)
 
 val win_probability_grid :
   ?points:int -> delta:float -> Comm_pattern.t -> Dist_protocol.t -> float

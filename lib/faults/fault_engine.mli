@@ -1,0 +1,66 @@
+(** Fault-injecting execution engine.
+
+    Mirrors {!Engine} over the same game, applying a {!Fault_model}
+    between the input draw and the decisions. All fault randomness comes
+    from the caller's seeded {!Rng}, and a fault dimension consumes draws
+    only when its rate is nonzero — so under {!Fault_model.none} a run
+    replays {!Engine.run_once} draw-for-draw, and any chaos run is
+    reproducible from its seed.
+
+    Injection is instrumented under the [ddm_faults_*] metrics family:
+    plays, per-dimension fault events, [ddm_faults_injected_total] across
+    all dimensions, and degraded plays (at least one fault). *)
+
+type outcome = {
+  inputs : float array;  (** true inputs (noise perturbs views only) *)
+  crashed : bool array;
+  decisions : int array;
+      (** per-player bin; [-1] marks a crashed player whose input was
+          dropped ({!Fault_model.Drop}) *)
+  load0 : float;
+  load1 : float;
+  delta_eff : float;  (** the (possibly jittered) capacity this play was judged against *)
+  win : bool;
+  faults : int;  (** fault events injected in this play *)
+}
+
+val degrade_view : Rng.t -> Fault_model.t -> Dist_protocol.view -> Dist_protocol.view * int
+(** Apply link loss, stale reads, and view noise to one player's view;
+    returns the degraded view and the number of fault events injected.
+    Exposed for tests. *)
+
+val run_once :
+  ?sampler:(Rng.t -> float) ->
+  Rng.t -> faults:Fault_model.t -> delta:float -> Comm_pattern.t -> Dist_protocol.t -> outcome
+(** One fault-injected play.
+    @raise Invalid_argument on a non-finite decide output (wrap the
+    protocol with {!Dist_protocol.sanitized} to degrade instead). *)
+
+val win_probability_mc :
+  ?sampler:(Rng.t -> float) ->
+  rng:Rng.t ->
+  samples:int ->
+  faults:Fault_model.t ->
+  delta:float ->
+  Comm_pattern.t ->
+  Dist_protocol.t ->
+  Mc.estimate
+(** Monte-Carlo win probability under faults, with a Wilson 95% CI. *)
+
+val win_probability_given :
+  faults:Fault_model.t -> delta:float -> Comm_pattern.t -> Dist_protocol.t -> float array -> float
+(** Exact win probability conditioned on the inputs, folding the fault
+    model analytically: sums over the [2^n] crash subsets (weighted
+    [c^|S| (1-c)^(n-|S|)]), rerouting crashed inputs per the crash mode,
+    and over the surviving players' decision branches.
+    @raise Invalid_argument unless {!Fault_model.crash_foldable} holds —
+    only the crash dimension folds; estimate the rest by Monte-Carlo. *)
+
+val win_probability_grid :
+  ?points:int -> faults:Fault_model.t -> delta:float -> Comm_pattern.t -> Dist_protocol.t -> float
+(** Midpoint-rule integration of {!win_probability_given} over [[0,1]^n]
+    (default 64 points per dimension), exact up to the grid — the
+    fault-model analogue of {!Engine.win_probability_grid}, and equal to
+    it at crash rate 0.
+    @raise Invalid_argument when the model is not crash-foldable or the
+    grid exceeds [10^8] cells. *)

@@ -34,6 +34,17 @@ let next_int64 t =
   t.s3 <- rotl t.s3 45;
   result
 
+let split t =
+  (* Re-expand one parent output through splitmix64, exactly as [create]
+     expands its integer seed; the child stream is decorrelated from the
+     parent's continuation by the full splitmix64 mixing. *)
+  let state = ref (next_int64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
 let float01 t =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in
   Int64.to_float bits *. 0x1.0p-53

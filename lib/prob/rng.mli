@@ -9,6 +9,12 @@ type t
 val create : seed:int -> t
 val copy : t -> t
 
+val split : t -> t
+(** Derive an independently-seeded generator, advancing the parent by one
+    draw. Lets a consumer (e.g. fault injection, or one sweep point of a
+    chaos run) own its stream, so adding draws in one place never shifts
+    the randomness seen by another. *)
+
 val next_int64 : t -> int64
 (** Raw 64-bit output. *)
 

@@ -1,0 +1,472 @@
+(* Tests for the fault-injection stack: fault models, the fault engine
+   (seeded determinism, zero-rate equivalence with the clean engine, the
+   exact crash fold), resilient protocol combinators, and the
+   degradation-analysis sweep. *)
+
+let raises_invalid f =
+  match f () with
+  | _ -> false
+  | exception Invalid_argument _ -> true
+
+let contains s needle =
+  let ls = String.length s and ln = String.length needle in
+  let rec at i = i + ln <= ls && (String.sub s i ln = needle || at (i + 1)) in
+  at 0
+
+(* Metrics are process-global and off by default; measure counter deltas
+   with the switch temporarily on. *)
+let with_metrics f =
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) f
+
+let counter_value name =
+  match Metrics.find name with
+  | Some { Metrics.value = Metrics.Counter_v v; _ } -> v
+  | _ -> 0
+
+(* ------------------------- Fault_model ------------------------- *)
+
+let model_tests =
+  [
+    Alcotest.test_case "none is none and foldable" `Quick (fun () ->
+      Alcotest.(check bool) "is_none" true (Fault_model.is_none Fault_model.none);
+      Alcotest.(check bool) "foldable" true (Fault_model.crash_foldable Fault_model.none);
+      Fault_model.validate Fault_model.none);
+    Alcotest.test_case "validate rejects bad rates" `Quick (fun () ->
+      Alcotest.(check bool) "crash > 1" true
+        (raises_invalid (fun () -> Fault_model.make ~crash:1.5 ()));
+      Alcotest.(check bool) "negative noise" true
+        (raises_invalid (fun () -> Fault_model.make ~noise:(-0.1) ()));
+      Alcotest.(check bool) "nan loss" true
+        (raises_invalid (fun () -> Fault_model.make ~link_loss:Float.nan ()));
+      Alcotest.(check bool) "bad default bin" true
+        (raises_invalid (fun () ->
+           Fault_model.make ~crash:0.1 ~crash_mode:(Fault_model.Default_bin 2) ())));
+    Alcotest.test_case "foldability is crash-only" `Quick (fun () ->
+      Alcotest.(check bool) "crash only" true
+        (Fault_model.crash_foldable (Fault_model.crash_only 0.3));
+      Alcotest.(check bool) "with loss" false
+        (Fault_model.crash_foldable (Fault_model.make ~crash:0.3 ~link_loss:0.1 ()));
+      Alcotest.(check bool) "with jitter" false
+        (Fault_model.crash_foldable (Fault_model.make ~jitter:0.2 ())));
+    Alcotest.test_case "to_string names every dimension" `Quick (fun () ->
+      let s =
+        Fault_model.to_string
+          (Fault_model.make ~crash:0.25 ~crash_mode:(Fault_model.Default_bin 1) ~link_loss:0.1
+             ~stale:0.05 ~noise:0.01 ~jitter:0.2 ())
+      in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (Printf.sprintf "%S mentions %S" s needle) true (contains s needle))
+        [ "crash=0.25"; "bin1"; "loss=0.1"; "stale=0.05"; "noise=0.01"; "jitter=0.2" ]);
+  ]
+
+(* ------------------------- Fault_engine ------------------------- *)
+
+let all_faults =
+  Fault_model.make ~crash:0.2 ~crash_mode:(Fault_model.Default_bin 0) ~link_loss:0.25 ~stale:0.15
+    ~noise:0.05 ~jitter:0.1 ()
+
+let outcome_stream ~seed ~plays ~faults ~delta pattern protocol =
+  let rng = Rng.create ~seed in
+  List.init plays (fun _ -> Fault_engine.run_once rng ~faults ~delta pattern protocol)
+
+let engine_tests =
+  [
+    Alcotest.test_case "same seed, same outcome stream" `Quick (fun () ->
+      let pattern = Comm_pattern.ring ~n:4 in
+      let protocol = Dist_protocol.common_threshold ~n:4 0.62 in
+      let run () = outcome_stream ~seed:5 ~plays:300 ~faults:all_faults ~delta:1.2 pattern protocol in
+      let a = run () and b = run () in
+      List.iter2
+        (fun (x : Fault_engine.outcome) (y : Fault_engine.outcome) ->
+          Alcotest.(check (array (float 0.))) "inputs" x.Fault_engine.inputs y.Fault_engine.inputs;
+          Alcotest.(check (array int)) "decisions" x.Fault_engine.decisions
+            y.Fault_engine.decisions;
+          Alcotest.(check (array bool)) "crashed" x.Fault_engine.crashed y.Fault_engine.crashed;
+          Alcotest.(check (float 0.)) "delta_eff" x.Fault_engine.delta_eff
+            y.Fault_engine.delta_eff;
+          Alcotest.(check (float 0.)) "load0" x.Fault_engine.load0 y.Fault_engine.load0;
+          Alcotest.(check bool) "win" x.Fault_engine.win y.Fault_engine.win;
+          Alcotest.(check int) "faults" x.Fault_engine.faults y.Fault_engine.faults)
+        a b);
+    Alcotest.test_case "zero rates replay the clean engine draw-for-draw" `Quick (fun () ->
+      let pattern = Comm_pattern.none ~n:3 in
+      let protocol = Dist_protocol.oblivious [| 0.3; 0.5; 0.7 |] in
+      let frng = Rng.create ~seed:9 and crng = Rng.create ~seed:9 in
+      for _ = 1 to 300 do
+        let f = Fault_engine.run_once frng ~faults:Fault_model.none ~delta:1. pattern protocol in
+        let c = Engine.run_once crng ~delta:1. pattern protocol in
+        Alcotest.(check (array (float 0.))) "inputs" c.Engine.inputs f.Fault_engine.inputs;
+        Alcotest.(check (array int)) "decisions" c.Engine.decisions f.Fault_engine.decisions;
+        Alcotest.(check (float 0.)) "load0" c.Engine.load0 f.Fault_engine.load0;
+        Alcotest.(check (float 0.)) "load1" c.Engine.load1 f.Fault_engine.load1;
+        Alcotest.(check bool) "win" c.Engine.win f.Fault_engine.win;
+        Alcotest.(check int) "no faults" 0 f.Fault_engine.faults
+      done);
+    Alcotest.test_case "zero-rate MC estimate is bit-identical to the clean engine" `Quick
+      (fun () ->
+      let pattern = Comm_pattern.none ~n:3 in
+      let protocol = Dist_protocol.common_threshold ~n:3 0.622 in
+      let est_f =
+        Fault_engine.win_probability_mc ~rng:(Rng.create ~seed:17) ~samples:50_000
+          ~faults:Fault_model.none ~delta:1. pattern protocol
+      in
+      let est_c =
+        Engine.win_probability_mc ~rng:(Rng.create ~seed:17) ~samples:50_000 ~delta:1. pattern
+          protocol
+      in
+      Alcotest.(check (float 0.)) "mean" est_c.Mc.mean est_f.Mc.mean);
+    Alcotest.test_case "crash faults are counted and degrade plays" `Quick (fun () ->
+      with_metrics (fun () ->
+        let before_injected = counter_value "ddm_faults_injected_total" in
+        let before_degraded = counter_value "ddm_faults_degraded_plays_total" in
+        let rng = Rng.create ~seed:21 in
+        let pattern = Comm_pattern.none ~n:3 in
+        let protocol = Dist_protocol.fair_coin ~n:3 in
+        let faults = Fault_model.crash_only ~mode:(Fault_model.Default_bin 0) 0.5 in
+        for _ = 1 to 200 do
+          ignore (Fault_engine.run_once rng ~faults ~delta:1. pattern protocol)
+        done;
+        let injected = counter_value "ddm_faults_injected_total" - before_injected in
+        let degraded = counter_value "ddm_faults_degraded_plays_total" - before_degraded in
+        Alcotest.(check bool)
+          (Printf.sprintf "injected %d near 300" injected)
+          true
+          (injected > 200 && injected < 400);
+        Alcotest.(check bool) "degraded plays counted" true (degraded > 100 && degraded <= 200)));
+    Alcotest.test_case "degrade_view: loss removes, stale stays in [0,1]" `Quick (fun () ->
+      let rng = Rng.create ~seed:3 in
+      let v = { Dist_protocol.me = 0; own = 0.4; others = [ (1, 0.5); (2, 0.6); (3, 0.7) ] } in
+      let lossy = Fault_model.make ~link_loss:1. () in
+      let dv, k = Fault_engine.degrade_view rng lossy v in
+      Alcotest.(check int) "all links lost" 3 k;
+      Alcotest.(check (list (pair int (float 0.)))) "empty" [] dv.Dist_protocol.others;
+      let stale = Fault_model.make ~stale:1. () in
+      let dv, k = Fault_engine.degrade_view rng stale v in
+      Alcotest.(check int) "all links stale" 3 k;
+      Alcotest.(check int) "links kept" 3 (List.length dv.Dist_protocol.others);
+      List.iter
+        (fun (j, x) ->
+          Alcotest.(check bool) "index kept" true (List.mem_assoc j v.Dist_protocol.others);
+          Alcotest.(check bool) "stale value in [0,1)" true (x >= 0. && x < 1.))
+        dv.Dist_protocol.others;
+      let noisy = Fault_model.make ~noise:0.2 () in
+      let dv, k = Fault_engine.degrade_view rng noisy v in
+      Alcotest.(check int) "own + 3 links perturbed" 4 k;
+      Alcotest.(check bool) "own moved at most by amplitude" true
+        (abs_float (dv.Dist_protocol.own -. 0.4) <= 0.2));
+    Alcotest.test_case "crash=1 drop always wins; crash=1 bin0 wins iff total fits" `Quick
+      (fun () ->
+      let pattern = Comm_pattern.none ~n:3 in
+      let protocol = Dist_protocol.common_threshold ~n:3 0.622 in
+      let p_drop =
+        Fault_engine.win_probability_given ~faults:(Fault_model.crash_only 1.) ~delta:1. pattern
+          protocol [| 0.9; 0.8; 0.7 |]
+      in
+      Alcotest.(check (float 1e-12)) "drop sheds all load" 1. p_drop;
+      let bin0 r inputs =
+        Fault_engine.win_probability_given
+          ~faults:(Fault_model.crash_only ~mode:(Fault_model.Default_bin 0) r)
+          ~delta:1. pattern protocol inputs
+      in
+      Alcotest.(check (float 1e-12)) "total 0.9 fits in bin 0" 1. (bin0 1. [| 0.4; 0.3; 0.2 |]);
+      Alcotest.(check (float 1e-12)) "total 1.2 overflows bin 0" 0. (bin0 1. [| 0.5; 0.4; 0.3 |]));
+    Alcotest.test_case "zero-rate fold equals the clean enumeration" `Quick (fun () ->
+      let pattern = Comm_pattern.none ~n:4 in
+      let protocol = Dist_protocol.oblivious [| 0.2; 0.4; 0.6; 0.8 |] in
+      let rng = Rng.create ~seed:33 in
+      for _ = 1 to 50 do
+        let inputs = Array.init 4 (fun _ -> Rng.float01 rng) in
+        Alcotest.(check (float 1e-12)) "fold = clean"
+          (Engine.win_probability_given ~delta:1.3 pattern protocol inputs)
+          (Fault_engine.win_probability_given ~faults:Fault_model.none ~delta:1.3 pattern protocol
+             inputs)
+      done);
+    Alcotest.test_case "crash fold agrees with Monte-Carlo" `Quick (fun () ->
+      let pattern = Comm_pattern.none ~n:3 in
+      let protocol = Dist_protocol.common_threshold ~n:3 0.622 in
+      let faults = Fault_model.crash_only ~mode:(Fault_model.Default_bin 0) 0.3 in
+      let exact = Fault_engine.win_probability_grid ~points:128 ~faults ~delta:1. pattern protocol in
+      let est =
+        Fault_engine.win_probability_mc ~rng:(Rng.create ~seed:41) ~samples:200_000 ~faults
+          ~delta:1. pattern protocol
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "MC %.4f vs fold %.4f" est.Mc.mean exact)
+        true (Mc.agrees est exact));
+    Alcotest.test_case "non-foldable model is rejected by the fold" `Quick (fun () ->
+      let pattern = Comm_pattern.none ~n:3 in
+      let protocol = Dist_protocol.fair_coin ~n:3 in
+      Alcotest.(check bool) "raises" true
+        (raises_invalid (fun () ->
+           Fault_engine.win_probability_given
+             ~faults:(Fault_model.make ~link_loss:0.5 ())
+             ~delta:1. pattern protocol [| 0.5; 0.5; 0.5 |])));
+    Alcotest.test_case "golden degradation table (n=3, delta=1, beta*)" `Quick (fun () ->
+      (* pinned 64-point-grid fold values for the paper's optimal common
+         threshold beta* = 1 - 1/sqrt(7) under Default_bin-0 crashes *)
+      let pattern = Comm_pattern.none ~n:3 in
+      let protocol = Dist_protocol.common_threshold ~n:3 (1. -. (1. /. sqrt 7.)) in
+      let fold r =
+        Fault_engine.win_probability_grid ~points:64
+          ~faults:(Fault_model.crash_only ~mode:(Fault_model.Default_bin 0) r)
+          ~delta:1. pattern protocol
+      in
+      let golden = [ (0., 0.546798706055); (0.1, 0.523612976073); (0.25, 0.482654571533) ] in
+      List.iter
+        (fun (r, expected) -> Alcotest.(check (float 1e-9)) (Printf.sprintf "rate %.2f" r) expected (fold r))
+        golden;
+      let values = List.map (fun (r, _) -> fold r) golden in
+      let rec strictly_decreasing = function
+        | a :: (b :: _ as rest) -> a > b && strictly_decreasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "monotone degradation" true (strictly_decreasing values));
+  ]
+
+(* ------------------------- resilient combinators ------------------------- *)
+
+let nan_protocol =
+  Dist_protocol.make ~name:"nan" (fun v -> if v.Dist_protocol.own >= 0. then Float.nan else 0.5)
+
+let combinator_tests =
+  [
+    Alcotest.test_case "engine rejects non-finite decide outputs" `Quick (fun () ->
+      let pattern = Comm_pattern.none ~n:3 in
+      Alcotest.(check bool) "run_once raises" true
+        (raises_invalid (fun () ->
+           Engine.run_once (Rng.create ~seed:1) ~delta:1. pattern nan_protocol));
+      Alcotest.(check bool) "win_probability_given raises" true
+        (raises_invalid (fun () ->
+           Engine.win_probability_given ~delta:1. pattern nan_protocol [| 0.5; 0.5; 0.5 |]));
+      Alcotest.(check bool) "fault engine raises too" true
+        (raises_invalid (fun () ->
+           Fault_engine.run_once (Rng.create ~seed:1) ~faults:Fault_model.none ~delta:1. pattern
+             nan_protocol)));
+    Alcotest.test_case "sanitized clamps and replaces non-finite outputs" `Quick (fun () ->
+      let v = { Dist_protocol.me = 0; own = 0.5; others = [] } in
+      let wild =
+        Dist_protocol.make ~name:"wild" (fun v ->
+          if v.Dist_protocol.own < 0.2 then 1.7
+          else if v.Dist_protocol.own < 0.4 then -0.3
+          else Float.nan)
+      in
+      let s = Dist_protocol.sanitized wild in
+      Alcotest.(check (float 0.)) "clamp high" 1.
+        (Dist_protocol.decide s { v with Dist_protocol.own = 0.1 });
+      Alcotest.(check (float 0.)) "clamp low" 0.
+        (Dist_protocol.decide s { v with Dist_protocol.own = 0.3 });
+      with_metrics (fun () ->
+        let before = counter_value "ddm_faults_sanitized_total" in
+        Alcotest.(check (float 0.)) "nan -> default" 0.5 (Dist_protocol.decide s v);
+        Alcotest.(check int) "counted" (before + 1) (counter_value "ddm_faults_sanitized_total"));
+      (* a sanitized NaN protocol becomes usable by the strict engine *)
+      let p =
+        Engine.win_probability_given ~delta:1. (Comm_pattern.none ~n:3)
+          (Dist_protocol.sanitized nan_protocol)
+          [| 0.5; 0.5; 0.5 |]
+      in
+      Alcotest.(check bool) "usable after sanitizing" true (p >= 0. && p <= 1.);
+      Alcotest.(check bool) "bad default rejected" true
+        (raises_invalid (fun () -> Dist_protocol.sanitized ~default:Float.nan wild)));
+    Alcotest.test_case "with_fallback routes incomplete views to the fallback" `Quick (fun () ->
+      let full = Comm_pattern.full ~n:3 in
+      let inner =
+        Dist_protocol.make ~deterministic:true ~name:"needs-links" (fun v ->
+          if List.length v.Dist_protocol.others = 2 then 1. else Float.nan)
+      in
+      let resilient = Dist_protocol.with_fallback ~expected:full inner in
+      let complete = { Dist_protocol.me = 0; own = 0.5; others = [ (1, 0.4); (2, 0.6) ] } in
+      let broken = { Dist_protocol.me = 0; own = 0.5; others = [ (2, 0.6) ] } in
+      Alcotest.(check (float 0.)) "complete view -> inner" 1.
+        (Dist_protocol.decide resilient complete);
+      with_metrics (fun () ->
+        let before = counter_value "ddm_faults_fallbacks_total" in
+        Alcotest.(check (float 0.)) "broken view -> fair coin" 0.5
+          (Dist_protocol.decide resilient broken);
+        Alcotest.(check int) "counted" (before + 1) (counter_value "ddm_faults_fallbacks_total"));
+      (* a statically severed pattern triggers the fallback only for the
+         affected viewer *)
+      let severed = Comm_pattern.filter (fun ~viewer ~source:_ -> viewer <> 0) full in
+      let vs = Engine.views severed [| 0.5; 0.4; 0.6 |] in
+      Alcotest.(check (float 0.)) "viewer 0 falls back" 0.5
+        (Dist_protocol.decide resilient vs.(0));
+      Alcotest.(check (float 0.)) "viewer 1 keeps inner" 1.
+        (Dist_protocol.decide resilient vs.(1)));
+    Alcotest.test_case "retry_under retries then gives up at the attempt cap" `Quick (fun () ->
+      let calls = ref 0 in
+      let flaky =
+        Dist_protocol.make ~name:"flaky" (fun _ ->
+          incr calls;
+          if !calls <= 2 then failwith "transient" else 0.9)
+      in
+      let v = { Dist_protocol.me = 0; own = 0.5; others = [] } in
+      let ok = Engine.retry_under ~deadline_s:5. ~attempts:5 flaky in
+      Alcotest.(check (float 0.)) "third try wins" 0.9 (Dist_protocol.decide ok v);
+      Alcotest.(check int) "three calls" 3 !calls;
+      let always_bad = Dist_protocol.make ~name:"bad" (fun _ -> failwith "down") in
+      with_metrics (fun () ->
+        let before = counter_value "ddm_faults_deadline_exceeded_total" in
+        Alcotest.(check (float 0.)) "gives up to default" 0.5
+          (Dist_protocol.decide (Engine.retry_under ~deadline_s:5. ~attempts:2 always_bad) v);
+        Alcotest.(check int) "abandonment counted" (before + 1)
+          (counter_value "ddm_faults_deadline_exceeded_total"));
+      Alcotest.(check bool) "bad deadline rejected" true
+        (raises_invalid (fun () -> Engine.retry_under ~deadline_s:0. flaky)));
+    Alcotest.test_case "parametric families validate the deciding player" `Quick (fun () ->
+      let v1 = { Dist_protocol.me = 1; own = 0.5; others = [] } in
+      Alcotest.(check bool) "oblivious short vector" true
+        (raises_invalid (fun () -> Dist_protocol.decide (Dist_protocol.oblivious [| 0.5 |]) v1));
+      Alcotest.(check bool) "single_threshold short vector" true
+        (raises_invalid (fun () ->
+           Dist_protocol.decide (Dist_protocol.single_threshold [| 0.5 |]) v1));
+      Alcotest.(check bool) "empty oblivious" true
+        (raises_invalid (fun () -> Dist_protocol.oblivious [||]));
+      Alcotest.(check bool) "weighted_threshold row/threshold mismatch" true
+        (raises_invalid (fun () ->
+           Dist_protocol.weighted_threshold
+             ~weights:[| [| 1.; 1. |]; [| 1.; 1. |] |]
+             ~thresholds:[| 0.5 |]));
+      Alcotest.(check bool) "weighted_threshold ragged row" true
+        (raises_invalid (fun () ->
+           Dist_protocol.weighted_threshold
+             ~weights:[| [| 1.; 1. |]; [| 1. |] |]
+             ~thresholds:[| 0.5; 0.5 |]));
+      (* mismatches raise a named error, not Index out of bounds *)
+      (match Dist_protocol.decide (Dist_protocol.oblivious [| 0.5 |]) v1 with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "message %S names the family" msg)
+          true (contains msg "oblivious")));
+  ]
+
+(* ------------------------- Degradation ------------------------- *)
+
+let degradation_tests =
+  [
+    Alcotest.test_case "sweep: baseline agrees, exact present, monotone" `Quick (fun () ->
+      let pattern = Comm_pattern.none ~n:3 in
+      let protocol = Dist_protocol.common_threshold ~n:3 (1. -. (1. /. sqrt 7.)) in
+      let report =
+        Degradation.sweep ~grid_points:64 ~rng:(Rng.create ~seed:42) ~samples:30_000
+          ~rates:[ 0.; 0.1; 0.25 ]
+          ~model_of:(fun r -> Fault_model.crash_only ~mode:(Fault_model.Default_bin 0) r)
+          ~delta:1. pattern protocol
+      in
+      Alcotest.(check bool) "baseline agrees" true report.Degradation.baseline_agrees;
+      Alcotest.(check int) "three points" 3 (List.length report.Degradation.points);
+      List.iter
+        (fun (p : Degradation.point) ->
+          Alcotest.(check bool) "exact fold present" true (Option.is_some p.Degradation.exact);
+          Alcotest.(check bool) "MC within CI of its own exact fold" true
+            (Mc.agrees p.Degradation.estimate (Option.get p.Degradation.exact)))
+        report.Degradation.points;
+      (match report.Degradation.points with
+      | p0 :: _ ->
+        Alcotest.(check (float 1e-12)) "rate-0 fold is the baseline"
+          report.Degradation.baseline_exact
+          (Option.get p0.Degradation.exact)
+      | [] -> Alcotest.fail "no points");
+      Alcotest.(check bool) "monotone" true (Degradation.monotone_nonincreasing report));
+    Alcotest.test_case "sweep is reproducible per seed" `Quick (fun () ->
+      let pattern = Comm_pattern.none ~n:3 in
+      let protocol = Dist_protocol.fair_coin ~n:3 in
+      let run () =
+        Degradation.sweep ~grid_points:16 ~rng:(Rng.create ~seed:7) ~samples:5_000
+          ~rates:[ 0.; 0.2 ]
+          ~model_of:(fun r -> Fault_model.make ~crash:r ~link_loss:0.1 ())
+          ~delta:1. pattern protocol
+      in
+      let a = run () and b = run () in
+      List.iter2
+        (fun (x : Degradation.point) (y : Degradation.point) ->
+          Alcotest.(check (float 0.)) "identical MC means" x.Degradation.estimate.Mc.mean
+            y.Degradation.estimate.Mc.mean)
+        a.Degradation.points b.Degradation.points;
+      (* link loss is active: the model does not fold *)
+      List.iter
+        (fun (p : Degradation.point) ->
+          Alcotest.(check bool) "no exact fold" true (Option.is_none p.Degradation.exact))
+        a.Degradation.points);
+    Alcotest.test_case "renderers carry every sweep point" `Quick (fun () ->
+      let pattern = Comm_pattern.none ~n:3 in
+      let protocol = Dist_protocol.fair_coin ~n:3 in
+      let report =
+        Degradation.sweep ~grid_points:16 ~rng:(Rng.create ~seed:3) ~samples:2_000
+          ~rates:[ 0.; 0.5 ]
+          ~model_of:(fun r -> Fault_model.crash_only ~mode:(Fault_model.Default_bin 0) r)
+          ~delta:1. pattern protocol
+      in
+      let count_lines s = List.length (String.split_on_char '\n' (String.trim s)) in
+      Alcotest.(check int) "table: header + 2 points" 3 (count_lines (Degradation.to_table report));
+      Alcotest.(check int) "csv: header + 2 points" 3 (count_lines (Degradation.to_csv report)));
+  ]
+
+(* ------------------------- ddm chaos CLI ------------------------- *)
+
+let ddm_exe =
+  let candidates =
+    [
+      Filename.concat ".." (Filename.concat "bin" "ddm.exe");
+      Filename.concat "_build" (Filename.concat "default" (Filename.concat "bin" "ddm.exe"));
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let cli_tests =
+  [
+    Alcotest.test_case "ddm chaos: baseline agrees, faults counted in --metrics json" `Slow
+      (fun () ->
+      let out = "test_faults_chaos.out" in
+      let cmd =
+        Printf.sprintf "%s chaos -n 3 --crash 0.1 --samples 20000 --seed 42 --metrics json > %s 2>&1"
+          (Filename.quote ddm_exe) out
+      in
+      Alcotest.(check int) "exit code" 0 (Sys.command cmd);
+      let output = read_file out in
+      Alcotest.(check bool) "baseline agreement reported" true (contains output "agrees: true");
+      let injected_line =
+        List.find_opt
+          (fun l -> contains l "\"name\":\"ddm_faults_injected_total\"")
+          (String.split_on_char '\n' output)
+      in
+      (match injected_line with
+      | None -> Alcotest.fail "no ddm_faults_injected_total in metrics output"
+      | Some l ->
+        Alcotest.(check bool)
+          (Printf.sprintf "nonzero injected counter in %s" l)
+          false (contains l "\"value\":0}"));
+      Sys.remove out);
+    Alcotest.test_case "ddm chaos: default sweep is monotone" `Slow (fun () ->
+      let out = "test_faults_chaos_sweep.out" in
+      let cmd =
+        Printf.sprintf "%s chaos -n 3 --samples 20000 --seed 42 > %s 2>&1"
+          (Filename.quote ddm_exe) out
+      in
+      Alcotest.(check int) "exit code" 0 (Sys.command cmd);
+      let output = read_file out in
+      Alcotest.(check bool) "monotone verdict" true
+        (contains output "degradation monotone (within MC noise): true");
+      Alcotest.(check bool) "baseline agreement" true (contains output "agrees: true");
+      Sys.remove out);
+  ]
+
+let () =
+  Alcotest.run "faults"
+    [
+      ("model", model_tests);
+      ("engine", engine_tests);
+      ("combinators", combinator_tests);
+      ("degradation", degradation_tests);
+      ("cli", cli_tests);
+    ]
