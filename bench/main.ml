@@ -564,11 +564,11 @@ let x8 () =
         (fun crash ->
           let faults = Fault_model.make ~crash ~crash_mode:(Fault_model.Default_bin 0) () in
           let rng = Rng.create ~seed:81 in
-          let t0 = Trace.now_s () in
+          let t0 = Trace.now_mono_s () in
           let est =
             Fault_engine.win_probability_mc ~rng ~samples ~faults ~delta pattern protocol
           in
-          let dt = Trace.now_s () -. t0 in
+          let dt = Trace.now_mono_s () -. t0 in
           let rate = if dt > 0. then float_of_int samples /. dt else 0. in
           if crash = 0. then clean_rate := rate;
           let exact = Fault_engine.win_probability_grid ~points:64 ~faults ~delta pattern protocol in
@@ -700,60 +700,76 @@ let groups =
 (* Machine-readable run reports (--report FILE)                        *)
 (* ------------------------------------------------------------------ *)
 
-(* One record per experiment: wall time, the Monte-Carlo throughput over
-   the experiment's window (0 when the experiment draws no samples), and
-   the full counter/gauge/histogram snapshot accumulated while it ran. *)
-type experiment_record = {
-  id : string;
-  wall_seconds : float;
-  mc_samples : int;
-  mc_samples_per_sec : float;
-  metrics_json : string;
-}
+(* One record per experiment: wall time (monotonic), the Monte-Carlo
+   throughput, the GC allocation delta, and the full
+   counter/gauge/histogram snapshot accumulated while it ran.
+
+   Throughput is reported twice: `mc_samples_per_sec` keeps the v1
+   semantics (samples over the WHOLE experiment window, including non-MC
+   phases — misleading for mixed experiments, kept for v1 readers) while
+   `mc_samples_per_sec_mc` divides by the time actually spent inside the
+   MC sampling spans, taken from the per-span-name trace aggregation. *)
+
+(* The span names under which Mc.probability/Mc.expectation record the
+   sampling loops; every MC sample drawn anywhere in the tree passes
+   through exactly one of these leaves. *)
+let mc_span_names = [ "mc.probability"; "mc.expectation" ]
 
 let run_experiment ~instrument (id, f) =
-  if instrument then Metrics.reset ();
-  let t0 = Trace.now_s () in
+  if instrument then begin
+    Metrics.reset ();
+    Trace.clear ()
+  end;
+  let g0 = Ledger.gc_now () in
+  let t0 = Trace.now_mono_s () in
   f ();
-  let wall_seconds = Trace.now_s () -. t0 in
+  let wall_seconds = Trace.now_mono_s () -. t0 in
+  let gc = Ledger.gc_delta ~before:g0 ~after:(Ledger.gc_now ()) in
   let snap = Metrics.snapshot () in
   let mc_samples =
     match Metrics.find "ddm_mc_samples_total" with
     | Some { Metrics.value = Metrics.Counter_v v; _ } -> v
     | _ -> 0
   in
+  let mc_span_seconds =
+    List.fold_left (fun acc name -> acc +. Trace.total_seconds name) 0. mc_span_names
+  in
   let mc_samples_per_sec =
     if wall_seconds > 0. then float_of_int mc_samples /. wall_seconds else 0.
   in
-  { id; wall_seconds; mc_samples; mc_samples_per_sec; metrics_json = Export.json_of_samples snap }
+  {
+    Baseline.id;
+    wall_seconds;
+    runs = [ wall_seconds ];
+    mc_samples;
+    mc_samples_per_sec;
+    mc_span_seconds = Some mc_span_seconds;
+    mc_samples_per_sec_mc =
+      (if mc_span_seconds > 0. then Some (float_of_int mc_samples /. mc_span_seconds) else None);
+    gc = Some gc;
+    metrics = Result.to_option (Jsonx.parse (Export.json_of_samples snap));
+  }
 
 (* Fail before the experiments run, not after tens of seconds of work. *)
-let check_report_writable file =
+let check_writable ~flag file =
   match open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 file with
   | oc -> close_out oc
   | exception Sys_error msg ->
-    Printf.eprintf "--report: cannot write %s (%s)\n" file msg;
+    Printf.eprintf "%s: cannot write %s (%s)\n" flag file msg;
     exit 2
 
 let write_report ~file records =
-  let total = List.fold_left (fun acc r -> acc +. r.wall_seconds) 0. records in
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\"schema\":\"ddm.bench.report/v1\",\"suite\":\"ddm-bench\",";
-  Buffer.add_string buf (Printf.sprintf "\"total_wall_seconds\":%.6f," total);
-  Buffer.add_string buf "\"experiments\":[";
-  List.iteri
-    (fun i r ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf
-        (Printf.sprintf
-           "{\"id\":\"%s\",\"wall_seconds\":%.6f,\"mc_samples\":%d,\"mc_samples_per_sec\":%.1f,\"metrics\":%s}"
-           r.id r.wall_seconds r.mc_samples r.mc_samples_per_sec r.metrics_json))
-    records;
-  Buffer.add_string buf "]}";
-  let oc = open_out file in
-  output_string oc (Buffer.contents buf);
-  output_char oc '\n';
-  close_out oc;
+  let total = List.fold_left (fun acc r -> acc +. r.Baseline.wall_seconds) 0. records in
+  Baseline.write ~file
+    {
+      Baseline.version = 2;
+      suite = "ddm-bench";
+      created_s = Some (Unix.gettimeofday ());
+      rev = Ledger.git_rev ();
+      seed = None;
+      total_wall_seconds = total;
+      experiments = records;
+    };
   Printf.printf "\nwrote run report: %s (%d experiment%s, %.2f s total)\n" file
     (List.length records)
     (if List.length records = 1 then "" else "s")
@@ -762,17 +778,19 @@ let write_report ~file records =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let want_bechamel = List.mem "--bechamel" args in
-  let report_file, args =
+  let flag_with_file flag args =
     let rec split acc = function
-      | "--report" :: file :: rest -> (Some file, List.rev_append acc rest)
-      | [ "--report" ] ->
-        Printf.eprintf "--report requires a FILE argument\n";
+      | f :: file :: rest when f = flag -> (Some file, List.rev_append acc rest)
+      | [ f ] when f = flag ->
+        Printf.eprintf "%s requires a FILE argument\n" flag;
         exit 2
       | a :: rest -> split (a :: acc) rest
       | [] -> (None, List.rev acc)
     in
     split [] args
   in
+  let report_file, args = flag_with_file "--report" args in
+  let ledger_file, args = flag_with_file "--ledger" args in
   let selected = List.filter (fun a -> a <> "--bechamel") args in
   let to_run =
     if selected = [] then groups
@@ -782,15 +800,28 @@ let () =
           match List.assoc_opt id groups with
           | Some f -> (id, f)
           | None ->
-            Printf.eprintf "unknown experiment %S; known: %s --bechamel --report FILE\n" id
+            Printf.eprintf "unknown experiment %S; known: %s --bechamel --report FILE --ledger FILE\n"
+              id
               (String.concat " " (List.map fst groups));
             exit 2)
         selected
   in
-  Option.iter check_report_writable report_file;
-  let instrument = report_file <> None in
-  if instrument then Metrics.set_enabled true;
-  let records = List.map (run_experiment ~instrument) to_run in
+  Option.iter (check_writable ~flag:"--report") report_file;
+  Option.iter (check_writable ~flag:"--ledger") ledger_file;
+  let instrument = report_file <> None || ledger_file <> None in
+  if instrument then begin
+    Metrics.set_enabled true;
+    Trace.set_enabled true
+  end;
+  let run_all () = List.map (run_experiment ~instrument) to_run in
+  let records =
+    match ledger_file with
+    | None -> run_all ()
+    | Some file ->
+      Ledger.recording ~file ~command:"bench"
+        ~argv:(List.tl (Array.to_list Sys.argv))
+        run_all
+  in
   (match report_file with Some file -> write_report ~file records | None -> ());
   if want_bechamel then bechamel ();
   print_newline ()

@@ -7,7 +7,9 @@
      eval       - evaluate a given rule exactly and by Monte-Carlo
      simulate   - run the distributed system and report outcome statistics
      chaos      - fault-injection sweep: win-probability degradation curves
-     tradeoff   - oblivious-vs-threshold table across n *)
+     tradeoff   - oblivious-vs-threshold table across n
+     perf       - performance observability: record bench baselines, diff
+                  them with a noise model, gate on confirmed regressions *)
 
 open Cmdliner
 
@@ -67,20 +69,60 @@ let trace_arg =
     value
     & flag
     & info [ "trace" ]
-        ~doc:"Enable span tracing and print the recorded span tree after the run.")
+        ~doc:
+          "Enable span tracing and print the recorded span tree plus a per-span-name \
+           duration/allocation profile after the run.")
 
-(* Every subcommand is wrapped so --metrics/--trace work uniformly: enable
-   the switches, run, then append the requested reports to stdout. *)
-let with_obs metrics trace run =
-  if Option.is_some metrics then Metrics.set_enabled true;
+let ledger_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:
+          "Append one ddm.ledger/v1 JSONL record for this invocation (command, argv, seed, git \
+           revision, monotonic wall time, GC allocation stats, metrics snapshot) to $(docv). \
+           Implies instrumentation.")
+
+(* A gated subcommand (perf check) wants a non-zero exit without skipping
+   the --metrics/--trace/--ledger epilogues, so it parks the code here and
+   the wrapper exits last. *)
+let exit_code = ref 0
+
+(* The ledger wants the seed that the subcommand will parse back out of
+   argv anyway; scanning argv beats threading a seed through every run
+   function that does not have one. *)
+let seed_of_argv () =
+  let argv = Array.to_list Sys.argv in
+  let rec scan = function
+    | "--seed" :: v :: _ -> int_of_string_opt v
+    | a :: rest ->
+      let prefix = "--seed=" in
+      if String.length a > String.length prefix && String.sub a 0 (String.length prefix) = prefix
+      then int_of_string_opt (String.sub a (String.length prefix) (String.length a - String.length prefix))
+      else scan rest
+    | [] -> None
+  in
+  scan argv
+
+(* Every subcommand is wrapped so --metrics/--trace/--ledger work
+   uniformly: enable the switches, run, then append the requested reports
+   to stdout and the ledger record to its file. *)
+let with_obs metrics trace ledger run =
+  if Option.is_some metrics || Option.is_some ledger then Metrics.set_enabled true;
   if trace then Trace.set_enabled true;
-  run ();
+  (match ledger with
+  | None -> run ()
+  | Some file ->
+    let command = if Array.length Sys.argv > 1 then Sys.argv.(1) else "ddm" in
+    let argv = List.tl (Array.to_list Sys.argv) in
+    Ledger.recording ~file ~command ~argv ?seed:(seed_of_argv ()) run);
   if trace then print_string (Trace.report ());
-  match metrics with
+  (match metrics with
   | Some fmt -> print_string (Export.render fmt (Metrics.snapshot ()))
-  | None -> ()
+  | None -> ());
+  if !exit_code <> 0 then exit !exit_code
 
-let obs_term run_term = Term.(const with_obs $ metrics_arg $ trace_arg $ run_term)
+let obs_term run_term = Term.(const with_obs $ metrics_arg $ trace_arg $ ledger_arg $ run_term)
 
 (* ------------------------- oblivious ------------------------- *)
 
@@ -435,6 +477,300 @@ let chaos_cmd =
          $ crash_arg $ crash_mode_arg $ loss_arg $ stale_arg $ noise_arg $ jitter_arg $ sweep_arg
          $ points_arg $ csv_arg))
 
+(* ------------------------- perf ------------------------- *)
+
+(* Built-in perf suite: one fast workload per hot path the ROADMAP cares
+   about, each sized to land in the low-millisecond range so a --repeat 3
+   recording stays under a second but clears the noise model's absolute
+   floor.  Workloads take the base seed so repeated recordings are
+   deterministic given --seed. *)
+let perf_suite : (string * (int -> unit)) list =
+  [
+    ( "perf-sym-eval-n5",
+      fun _ ->
+        for _ = 1 to 1000 do
+          ignore (Threshold.winning_probability_sym ~n:5 ~delta:(5. /. 3.) 0.62)
+        done );
+    ( "perf-gen-eval-n10",
+      fun _ -> ignore (Threshold.winning_probability ~delta:(10. /. 3.) (Array.make 10 0.62)) );
+    ( "perf-symbolic-curve-n4",
+      fun _ -> ignore (Symbolic.sym_threshold_curve ~n:4 ~delta:(Rat.of_ints 4 3)) );
+    ( "perf-oblivious-exact-n10",
+      fun _ ->
+        for _ = 1 to 20 do
+          ignore (Oblivious.winning_probability_uniform_rat ~n:10 ~delta:(Rat.of_ints 10 3))
+        done );
+    ( "perf-grid-n3-32",
+      fun _ ->
+        ignore
+          (Engine.win_probability_grid ~points:32 ~delta:1. (Comm_pattern.none ~n:3)
+             (Dist_protocol.common_threshold ~n:3 0.62)) );
+    ( "perf-mc-100k-n3",
+      fun seed ->
+        let rng = Rng.create ~seed in
+        ignore
+          (Engine.win_probability_mc ~rng ~samples:100_000 ~delta:1. (Comm_pattern.none ~n:3)
+             (Dist_protocol.common_threshold ~n:3 0.62)) );
+    ( "perf-ih-cdf-m20",
+      fun _ ->
+        for _ = 1 to 2000 do
+          ignore (Uniform_sum.irwin_hall_cdf_float ~m:20 7.1)
+        done );
+    ( "perf-bigint-pow-500",
+      fun _ ->
+        let a = Bigint.pow (Bigint.of_string "123456789123456789") 500 in
+        for _ = 1 to 3 do
+          ignore (Bigint.mul a a)
+        done );
+  ]
+
+let mc_span_names = [ "mc.probability"; "mc.expectation" ]
+
+(* Record one experiment: --repeat timed runs under metrics+tracing, the
+   per-repeat wall times kept for the z-test, MC/GC attribution from the
+   final repeat. *)
+let measure_experiment ~repeat ~seed (id, f) =
+  let wall = ref [] and last = ref None in
+  f seed (* untimed warm-up: page-cache and minor-heap effects dominate a cold first repeat *);
+  for k = 1 to repeat do
+    Metrics.reset ();
+    Trace.clear ();
+    let g0 = Ledger.gc_now () in
+    let t0 = Trace.now_mono_s () in
+    f (seed + k - 1);
+    let dt = Trace.now_mono_s () -. t0 in
+    let gc = Ledger.gc_delta ~before:g0 ~after:(Ledger.gc_now ()) in
+    wall := dt :: !wall;
+    if k = repeat then begin
+      let mc_samples =
+        match Metrics.find "ddm_mc_samples_total" with
+        | Some { Metrics.value = Metrics.Counter_v v; _ } -> v
+        | _ -> 0
+      in
+      let mc_span =
+        List.fold_left (fun acc name -> acc +. Trace.total_seconds name) 0. mc_span_names
+      in
+      let metrics = Result.to_option (Jsonx.parse (Export.json_of_samples (Metrics.snapshot ()))) in
+      last := Some (mc_samples, mc_span, gc, metrics)
+    end
+  done;
+  let runs = List.rev !wall in
+  let mc_samples, mc_span, gc, metrics = Option.get !last in
+  {
+    Baseline.id;
+    wall_seconds = List.fold_left ( +. ) 0. runs /. float_of_int repeat;
+    runs;
+    mc_samples;
+    mc_samples_per_sec =
+      (let w = List.nth runs (repeat - 1) in
+       if w > 0. then float_of_int mc_samples /. w else 0.);
+    mc_span_seconds = (if mc_span > 0. then Some mc_span else None);
+    mc_samples_per_sec_mc =
+      (if mc_span > 0. then Some (float_of_int mc_samples /. mc_span) else None);
+    gc = Some gc;
+    metrics;
+  }
+
+let record_suite ~repeat ~seed ~only =
+  let suite =
+    match only with
+    | [] -> perf_suite
+    | ids ->
+      List.map
+        (fun id ->
+          match List.assoc_opt id perf_suite with
+          | Some f -> (id, f)
+          | None ->
+            failwith
+              (Printf.sprintf "unknown perf experiment %S; known: %s" id
+                 (String.concat " " (List.map fst perf_suite))))
+        ids
+  in
+  (* The suite needs its own instrumentation regardless of --metrics /
+     --trace; restore the global switches so the wrapper's epilogue
+     reflects what the user asked for. *)
+  let m0 = Metrics.enabled () and t0 = Trace.enabled () in
+  Metrics.set_enabled true;
+  Trace.set_enabled true;
+  let records =
+    Fun.protect
+      ~finally:(fun () ->
+        Metrics.set_enabled m0;
+        Trace.set_enabled t0)
+      (fun () -> List.map (measure_experiment ~repeat ~seed) suite)
+  in
+  {
+    Baseline.version = 2;
+    suite = "ddm-perf";
+    created_s = Some (Unix.gettimeofday ());
+    rev = Ledger.git_rev ();
+    seed = Some seed;
+    total_wall_seconds = List.fold_left (fun acc r -> acc +. r.Baseline.wall_seconds) 0. records;
+    experiments = records;
+  }
+
+let repeat_arg =
+  Arg.(
+    value
+    & opt (pos_int "repeat count") 3
+    & info [ "repeat" ] ~docv:"K" ~doc:"Timed repetitions per experiment (kept for the z-test).")
+
+let only_arg =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "experiments" ] ~docv:"ID1,ID2,..."
+        ~doc:"Run only the named suite experiments (default: all).")
+
+let load_report_or_die file =
+  match Baseline.load file with
+  | Ok r -> r
+  | Error msg ->
+    Printf.eprintf "ddm perf: %s\n" msg;
+    exit 2
+
+let noise_of ~tolerance ~min_delta_ms ~z =
+  {
+    Baseline.rel_tolerance = Option.value ~default:Baseline.default_noise.Baseline.rel_tolerance tolerance;
+    min_delta_s =
+      (match min_delta_ms with
+      | Some ms -> ms /. 1e3
+      | None -> Baseline.default_noise.Baseline.min_delta_s);
+    z = Option.value ~default:Baseline.default_noise.Baseline.z z;
+  }
+
+let tolerance_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "tolerance" ] ~docv:"R"
+        ~doc:"Relative wall-time threshold below which a delta is noise (default 0.25).")
+
+let min_delta_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "min-delta-ms" ] ~docv:"MS"
+        ~doc:"Absolute wall-time floor in milliseconds below which a delta is noise (default 2).")
+
+let z_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "z" ] ~docv:"Z"
+        ~doc:
+          "Welch z-score gate applied when both reports carry repeated runs (default 2.5); \
+           deltas inside the gate are noise.")
+
+let diff_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("table", `Table); ("csv", `Csv); ("json", `Json) ]) `Table
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,table), $(b,csv) or $(b,json).")
+
+let render_diff fmt ~noise comparisons =
+  match fmt with
+  | `Table -> print_string (Baseline.to_table comparisons)
+  | `Csv -> print_string (Baseline.to_csv comparisons)
+  | `Json -> print_endline (Baseline.diff_to_json ~noise comparisons)
+
+let perf_record_cmd =
+  let run out repeat seed only () =
+    let report = record_suite ~repeat ~seed ~only in
+    Baseline.write ~file:out report;
+    Printf.printf "wrote %s: %d experiment%s, %d run%s each, %.3f s total%s\n" out
+      (List.length report.Baseline.experiments)
+      (if List.length report.Baseline.experiments = 1 then "" else "s")
+      repeat
+      (if repeat = 1 then "" else "s")
+      report.Baseline.total_wall_seconds
+      (match report.Baseline.rev with Some r -> ", rev " ^ String.sub r 0 (min 12 (String.length r)) | None -> "")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_report.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Where to write the ddm.bench.report/v2 JSON.")
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Run the built-in perf suite and write a ddm.bench.report/v2 baseline (per-repeat run \
+          times, MC-span throughput, GC allocation stats, seed, git revision).")
+    (obs_term Term.(const run $ out_arg $ repeat_arg $ seed_arg $ only_arg))
+
+let perf_diff_cmd =
+  let run old_file new_file tolerance min_delta_ms z fmt () =
+    let noise = noise_of ~tolerance ~min_delta_ms ~z in
+    let comparisons =
+      Baseline.diff ~noise ~old_report:(load_report_or_die old_file)
+        ~new_report:(load_report_or_die new_file) ()
+    in
+    render_diff fmt ~noise comparisons
+  in
+  let old_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD") in
+  let new_arg = Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW") in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two bench reports (v1 or v2) experiment by experiment and classify each \
+          wall-time delta as improvement, regression, or noise.")
+    (obs_term
+       Term.(const run $ old_arg $ new_arg $ tolerance_arg $ min_delta_arg $ z_arg $ diff_format_arg))
+
+let perf_check_cmd =
+  let run baseline against tolerance min_delta_ms z fmt repeat seed () =
+    let noise = noise_of ~tolerance ~min_delta_ms ~z in
+    let old_report = load_report_or_die baseline in
+    let new_report =
+      match against with
+      | Some file -> load_report_or_die file
+      | None ->
+        Printf.printf "recording a fresh run of the perf suite (%d repeat%s)...\n" repeat
+          (if repeat = 1 then "" else "s");
+        record_suite ~repeat ~seed ~only:[]
+    in
+    let comparisons = Baseline.diff ~noise ~old_report ~new_report () in
+    render_diff fmt ~noise comparisons;
+    if Baseline.has_regression comparisons then begin
+      Printf.printf "perf check FAILED against %s\n" baseline;
+      exit_code := 3
+    end
+    else Printf.printf "perf check ok against %s\n" baseline
+  in
+  let baseline_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE" ~doc:"Baseline bench report to gate against.")
+  in
+  let against_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "against" ] ~docv:"FILE"
+          ~doc:
+            "Candidate report to check (default: record a fresh run of the built-in suite).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Gate on perf regressions: diff a candidate run (recorded fresh, or --against FILE) \
+          against --baseline and exit non-zero when any experiment regresses beyond the noise \
+          model.")
+    (obs_term
+       Term.(
+         const run $ baseline_arg $ against_arg $ tolerance_arg $ min_delta_arg $ z_arg
+         $ diff_format_arg $ repeat_arg $ seed_arg))
+
+let perf_cmd =
+  Cmd.group
+    (Cmd.info "perf"
+       ~doc:
+         "Performance observability: record bench baselines, diff them under a noise model, \
+          and gate CI on confirmed regressions.")
+    [ perf_record_cmd; perf_diff_cmd; perf_check_cmd ]
+
 (* ------------------------- tradeoff ------------------------- *)
 
 let tradeoff_cmd =
@@ -472,5 +808,5 @@ let () =
        (Cmd.group info
           [
             oblivious_cmd; threshold_cmd; certify_cmd; curve_cmd; eval_cmd; banded_cmd;
-            simulate_cmd; chaos_cmd; tradeoff_cmd;
+            simulate_cmd; chaos_cmd; tradeoff_cmd; perf_cmd;
           ]))

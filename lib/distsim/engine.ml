@@ -32,13 +32,13 @@ let retry_under ~deadline_s ?(attempts = 3) ?(default = 0.5) protocol =
     ~deterministic:(Dist_protocol.is_deterministic protocol)
     ~name:(Printf.sprintf "%s+retry(%d,%.3gs)" (Dist_protocol.name protocol) attempts deadline_s)
     (fun v ->
-      let start = Trace.now_s () in
+      let start = Trace.now_mono_s () in
       let rec go k =
         match (try Some (Dist_protocol.decide protocol v) with _ -> None) with
         | Some p when Float.is_finite p -> p
         | _ ->
           Metrics.incr retries;
-          if k + 1 >= attempts || Trace.now_s () -. start >= deadline_s then begin
+          if k + 1 >= attempts || Trace.now_mono_s () -. start >= deadline_s then begin
             Metrics.incr deadline_exceeded;
             default
           end

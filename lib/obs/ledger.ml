@@ -1,0 +1,225 @@
+(* Append-only JSONL run ledger.  Every instrumented ddm/bench invocation
+   appends one schema-versioned line recording what ran (command, argv,
+   seed), where (git revision), and what it cost (monotonic wall time, GC
+   allocation stats, full metrics snapshot).  Append-only JSONL makes the
+   ledger crash-tolerant: a torn final line is skipped on load, never
+   poisoning the history before it. *)
+
+let schema = "ddm.ledger/v1"
+
+(* ------------------------------ GC stats ------------------------------ *)
+
+type gc_stats = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+}
+
+let gc_now () =
+  let s = Gc.quick_stat () in
+  {
+    (* quick_stat.minor_words lags until the next minor collection;
+       Gc.minor_words reads the live allocation pointer *)
+    minor_words = Gc.minor_words ();
+    promoted_words = s.Gc.promoted_words;
+    major_words = s.Gc.major_words;
+    minor_collections = s.Gc.minor_collections;
+    major_collections = s.Gc.major_collections;
+    compactions = s.Gc.compactions;
+  }
+
+let gc_delta ~before ~after =
+  {
+    minor_words = after.minor_words -. before.minor_words;
+    promoted_words = after.promoted_words -. before.promoted_words;
+    major_words = after.major_words -. before.major_words;
+    minor_collections = after.minor_collections - before.minor_collections;
+    major_collections = after.major_collections - before.major_collections;
+    compactions = after.compactions - before.compactions;
+  }
+
+let gc_to_json g =
+  Jsonx.Obj
+    [
+      ("minor_words", Jsonx.Num g.minor_words);
+      ("promoted_words", Jsonx.Num g.promoted_words);
+      ("major_words", Jsonx.Num g.major_words);
+      ("minor_collections", Jsonx.Num (float_of_int g.minor_collections));
+      ("major_collections", Jsonx.Num (float_of_int g.major_collections));
+      ("compactions", Jsonx.Num (float_of_int g.compactions));
+    ]
+
+let gc_of_json json =
+  let f key = Option.value ~default:0. (Jsonx.float_member key json) in
+  let i key = Option.value ~default:0 (Jsonx.int_member key json) in
+  {
+    minor_words = f "minor_words";
+    promoted_words = f "promoted_words";
+    major_words = f "major_words";
+    minor_collections = i "minor_collections";
+    major_collections = i "major_collections";
+    compactions = i "compactions";
+  }
+
+(* ---------------------------- provenance ---------------------------- *)
+
+let read_first_line path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> match input_line ic with line -> Some (String.trim line) | exception End_of_file -> None)
+
+(* Resolve HEAD without shelling out: walk up to the enclosing .git (which
+   may be a worktree pointer file), then follow one level of "ref:". *)
+let git_rev () =
+  let rec find_git dir depth =
+    if depth > 40 then None
+    else
+      let cand = Filename.concat dir ".git" in
+      if Sys.file_exists cand then
+        if Sys.is_directory cand then Some cand
+        else
+          (* worktree: ".git" is a file containing "gitdir: PATH" *)
+          Option.bind (read_first_line cand) (fun line ->
+            let prefix = "gitdir:" in
+            if String.length line > String.length prefix
+               && String.sub line 0 (String.length prefix) = prefix
+            then
+              Some
+                (String.trim
+                   (String.sub line (String.length prefix)
+                      (String.length line - String.length prefix)))
+            else None)
+      else
+        let parent = Filename.dirname dir in
+        if parent = dir then None else find_git parent (depth + 1)
+  in
+  match find_git (Sys.getcwd ()) 0 with
+  | None -> None
+  | Some git_dir -> (
+    match read_first_line (Filename.concat git_dir "HEAD") with
+    | None -> None
+    | Some head ->
+      let prefix = "ref: " in
+      if String.length head > String.length prefix && String.sub head 0 (String.length prefix) = prefix
+      then
+        let ref_path = String.sub head (String.length prefix) (String.length head - String.length prefix) in
+        read_first_line (Filename.concat git_dir ref_path)
+      else Some head)
+
+(* ------------------------------ entries ------------------------------ *)
+
+type entry = {
+  timestamp_s : float;
+  command : string;
+  argv : string list;
+  seed : int option;
+  rev : string option;
+  wall_seconds : float;
+  gc : gc_stats;
+  metrics : Jsonx.t;
+}
+
+let opt_str = function Some s -> Jsonx.Str s | None -> Jsonx.Null
+let opt_int = function Some v -> Jsonx.Num (float_of_int v) | None -> Jsonx.Null
+
+let to_json e =
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.Str schema);
+      ("timestamp_s", Jsonx.Num e.timestamp_s);
+      ("command", Jsonx.Str e.command);
+      ("argv", Jsonx.Arr (List.map (fun a -> Jsonx.Str a) e.argv));
+      ("seed", opt_int e.seed);
+      ("git_rev", opt_str e.rev);
+      ("wall_seconds", Jsonx.Num e.wall_seconds);
+      ("gc", gc_to_json e.gc);
+      ("metrics", e.metrics);
+    ]
+
+let of_json json =
+  match Jsonx.string_member "schema" json with
+  | Some s when s = schema ->
+    let command = Option.value ~default:"" (Jsonx.string_member "command" json) in
+    let argv =
+      match Jsonx.list_member "argv" json with
+      | Some l -> List.filter_map Jsonx.to_string_opt l
+      | None -> []
+    in
+    Ok
+      {
+        timestamp_s = Option.value ~default:0. (Jsonx.float_member "timestamp_s" json);
+        command;
+        argv;
+        seed = Jsonx.int_member "seed" json;
+        rev = Jsonx.string_member "git_rev" json;
+        wall_seconds = Option.value ~default:0. (Jsonx.float_member "wall_seconds" json);
+        gc = (match Jsonx.member "gc" json with Some g -> gc_of_json g | None -> gc_of_json Jsonx.Null);
+        metrics = Option.value ~default:Jsonx.Null (Jsonx.member "metrics" json);
+      }
+  | Some other -> Error (Printf.sprintf "unknown ledger schema %S" other)
+  | None -> Error "missing \"schema\" field"
+
+(* ------------------------------- file IO ------------------------------- *)
+
+let append ~file e =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Jsonx.to_string (to_json e));
+      output_char oc '\n')
+
+let load ~file =
+  match open_in file with
+  | exception Sys_error _ -> ([], 0)
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let entries = ref [] and skipped = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match Jsonx.parse line with
+               | Error _ -> incr skipped
+               | Ok json -> (
+                 match of_json json with
+                 | Ok e -> entries := e :: !entries
+                 | Error _ -> incr skipped)
+           done
+         with End_of_file -> ());
+        (List.rev !entries, !skipped))
+
+(* ----------------------------- recording ----------------------------- *)
+
+let entry_of_run ~command ~argv ?seed ~wall_seconds ~gc () =
+  {
+    timestamp_s = Unix.gettimeofday ();
+    command;
+    argv;
+    seed;
+    rev = git_rev ();
+    wall_seconds;
+    gc;
+    metrics = (
+      match Jsonx.parse (Export.json_of_samples (Metrics.snapshot ())) with
+      | Ok j -> j
+      | Error _ -> Jsonx.Null);
+  }
+
+let recording ~file ~command ~argv ?seed f =
+  let g0 = gc_now () in
+  let t0 = Trace.now_mono_s () in
+  let finish () =
+    let wall_seconds = Trace.now_mono_s () -. t0 in
+    let gc = gc_delta ~before:g0 ~after:(gc_now ()) in
+    append ~file (entry_of_run ~command ~argv ?seed ~wall_seconds ~gc ())
+  in
+  Fun.protect ~finally:finish f

@@ -1,0 +1,77 @@
+(** Append-only JSONL run ledger ([ddm.ledger/v1]).
+
+    One line per instrumented invocation: command, argv, seed, git
+    revision, monotonic wall time, GC allocation stats, and the full
+    metrics snapshot.  Loads tolerate a torn (truncated) final line — the
+    crash-consistency property of append-only JSONL — by skipping
+    unparseable lines and reporting how many were skipped. *)
+
+val schema : string
+(** ["ddm.ledger/v1"]. *)
+
+(** {1 GC statistics} *)
+
+type gc_stats = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+}
+
+val gc_now : unit -> gc_stats
+(** Current cumulative [Gc.quick_stat] values. *)
+
+val gc_delta : before:gc_stats -> after:gc_stats -> gc_stats
+val gc_to_json : gc_stats -> Jsonx.t
+val gc_of_json : Jsonx.t -> gc_stats
+(** Missing fields decode to zero, so partial records stay loadable. *)
+
+(** {1 Provenance} *)
+
+val git_rev : unit -> string option
+(** HEAD commit hash of the enclosing git checkout, resolved by reading
+    [.git/HEAD] (no subprocess); [None] outside a checkout or on any read
+    failure. *)
+
+(** {1 Entries} *)
+
+type entry = {
+  timestamp_s : float;  (** Unix epoch seconds at record time *)
+  command : string;  (** subcommand or tool name, e.g. ["eval"], ["bench"] *)
+  argv : string list;
+  seed : int option;
+  rev : string option;  (** git revision, when resolvable *)
+  wall_seconds : float;  (** monotonic wall time of the run *)
+  gc : gc_stats;  (** allocation delta over the run *)
+  metrics : Jsonx.t;  (** grouped metrics snapshot (see {!Export.json_of_samples}) *)
+}
+
+val to_json : entry -> Jsonx.t
+val of_json : Jsonx.t -> (entry, string) result
+
+val append : file:string -> entry -> unit
+(** Append one line, creating the file if needed.
+    @raise Sys_error when the file cannot be opened for writing. *)
+
+val load : file:string -> entry list * int
+(** All well-formed entries in file order, plus the number of skipped
+    (unparseable or wrong-schema) lines.  A missing file loads as
+    [([], 0)]. *)
+
+val entry_of_run :
+  command:string ->
+  argv:string list ->
+  ?seed:int ->
+  wall_seconds:float ->
+  gc:gc_stats ->
+  unit ->
+  entry
+(** Build an entry stamped with the current time, git revision, and
+    metrics snapshot. *)
+
+val recording : file:string -> command:string -> argv:string list -> ?seed:int -> (unit -> 'a) -> 'a
+(** Run the thunk, then append one entry covering it (monotonic wall time,
+    GC delta, metrics snapshot at exit).  The entry is appended even if the
+    thunk raises; the exception is re-raised. *)

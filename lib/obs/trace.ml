@@ -1,9 +1,23 @@
-type span = { name : string; depth : int; start_s : float; dur_s : float }
+type span = {
+  name : string;
+  depth : int;
+  start_s : float;
+  dur_s : float;
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
 
 let on = ref false
 let set_enabled b = on := b
 let enabled () = !on
 let now_s () = Unix.gettimeofday ()
+
+(* Durations come from CLOCK_MONOTONIC (via bechamel's noalloc stub), so an
+   NTP step between entry and exit cannot produce a negative or garbage
+   duration; the epoch timestamp is kept only for [start_s]. *)
+let now_mono_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
 
 let max_recorded = 10_000
 let recorded : span list ref = ref [] (* completion order, newest first *)
@@ -32,11 +46,29 @@ let with_span name f =
     let d = !depth in
     incr depth;
     let start_s = now_s () in
+    let t0 = now_mono_s () in
+    (* quick_stat.minor_words is only refreshed at minor collections, so a
+       short span would read as allocation-free; Gc.minor_words reads the
+       live minor-heap pointer and is accurate. *)
+    let mw0 = Gc.minor_words () in
+    let g0 = Gc.quick_stat () in
     Fun.protect
       ~finally:(fun () ->
-        let dur_s = now_s () -. start_s in
+        let dur_s = now_mono_s () -. t0 in
+        let mw1 = Gc.minor_words () in
+        let g1 = Gc.quick_stat () in
         decr depth;
-        record { name; depth = d; start_s; dur_s })
+        record
+          {
+            name;
+            depth = d;
+            start_s;
+            dur_s;
+            minor_words = mw1 -. mw0;
+            major_words = g1.Gc.major_words -. g0.Gc.major_words;
+            minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+            major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+          })
       f
   end
 
@@ -45,10 +77,65 @@ let spans () =
     (fun a b -> compare (a.start_s, a.depth) (b.start_s, b.depth))
     (List.rev !recorded)
 
+type profile_row = {
+  p_name : string;
+  calls : int;
+  total_s : float;
+  p_minor_words : float;
+  p_major_words : float;
+  p_minor_collections : int;
+  p_major_collections : int;
+}
+
+(* Per-name totals over every recorded span.  Nested spans contribute to
+   both their own name and every enclosing name (no self-time subtraction);
+   none of the instrumented span names recurse today, so totals do not
+   double-count within one name. *)
+let profile () =
+  let agg = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let row =
+        Option.value
+          ~default:
+            {
+              p_name = s.name;
+              calls = 0;
+              total_s = 0.;
+              p_minor_words = 0.;
+              p_major_words = 0.;
+              p_minor_collections = 0;
+              p_major_collections = 0;
+            }
+          (Hashtbl.find_opt agg s.name)
+      in
+      Hashtbl.replace agg s.name
+        {
+          row with
+          calls = row.calls + 1;
+          total_s = row.total_s +. s.dur_s;
+          p_minor_words = row.p_minor_words +. s.minor_words;
+          p_major_words = row.p_major_words +. s.major_words;
+          p_minor_collections = row.p_minor_collections + s.minor_collections;
+          p_major_collections = row.p_major_collections + s.major_collections;
+        })
+    !recorded;
+  Hashtbl.fold (fun _ row acc -> row :: acc) agg []
+  |> List.sort (fun a b -> compare b.total_s a.total_s)
+
+let total_seconds name =
+  List.fold_left (fun acc s -> if s.name = name then acc +. s.dur_s else acc) 0. !recorded
+
 let pp_duration dur =
   if dur >= 1. then Printf.sprintf "%8.3f s " dur
   else if dur >= 1e-3 then Printf.sprintf "%8.3f ms" (dur *. 1e3)
   else Printf.sprintf "%8.3f us" (dur *. 1e6)
+
+let pp_words w =
+  if Float.abs w >= 1e9 then Printf.sprintf "%8.2fGw" (w /. 1e9)
+  else if Float.abs w >= 1e6 then Printf.sprintf "%8.2fMw" (w /. 1e6)
+  else if Float.abs w >= 1e3 then Printf.sprintf "%8.2fkw" (w /. 1e3)
+  else Printf.sprintf "%8.0f w" w
 
 let report () =
   let buf = Buffer.create 1024 in
@@ -68,21 +155,17 @@ let report () =
   if !n_recorded > tree_cap then
     Buffer.add_string buf (Printf.sprintf "  ... (%d more)\n" (!n_recorded - tree_cap));
   if all <> [] then begin
-    let agg = Hashtbl.create 16 in
-    List.iter
-      (fun s ->
-        let calls, total =
-          Option.value ~default:(0, 0.) (Hashtbl.find_opt agg s.name)
-        in
-        Hashtbl.replace agg s.name (calls + 1, total +. s.dur_s))
-      all;
     Buffer.add_string buf
-      (Printf.sprintf "  %-32s %8s %12s %12s\n" "by name" "calls" "total" "mean");
-    Hashtbl.fold (fun name v acc -> (name, v) :: acc) agg []
-    |> List.sort (fun (_, (_, a)) (_, (_, b)) -> compare b a)
-    |> List.iter (fun (name, (calls, total)) ->
-         Buffer.add_string buf
-           (Printf.sprintf "  %-32s %8d %s %s\n" name calls (pp_duration total)
-              (pp_duration (total /. float_of_int calls))))
+      (Printf.sprintf "  %-32s %8s %12s %12s %10s %10s %7s\n" "profile by name" "calls" "total"
+         "mean" "minor" "major" "gc runs");
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-32s %8d %s %s %s %s %7d\n" r.p_name r.calls
+             (pp_duration r.total_s)
+             (pp_duration (r.total_s /. float_of_int r.calls))
+             (pp_words r.p_minor_words) (pp_words r.p_major_words)
+             (r.p_minor_collections + r.p_major_collections)))
+      (profile ())
   end;
   Buffer.contents buf

@@ -1,15 +1,22 @@
-(** Lightweight span tracing.
+(** Lightweight span tracing with allocation profiling.
 
-    [with_span name f] times [f ()] with wall-clock timestamps and records
-    a completed span; spans nest, and the recorded depth reconstructs the
-    call tree.  Tracing is off by default and the disabled path is a single
-    branch — no clock reads, no allocation. *)
+    [with_span name f] times [f ()] and records a completed span; spans
+    nest, and the recorded depth reconstructs the call tree.  Durations are
+    measured on a monotonic clock (immune to NTP steps); the wall-clock
+    epoch timestamp is kept only for [start_s].  Each span also carries the
+    GC allocation delta ([Gc.quick_stat] at entry vs exit).  Tracing is off
+    by default and the disabled path is a single branch — no clock reads,
+    no GC stats, no allocation. *)
 
 type span = {
   name : string;
   depth : int;  (** nesting depth at entry; 0 for top-level spans *)
   start_s : float;  (** wall-clock seconds (Unix epoch) at entry *)
-  dur_s : float;  (** wall-clock duration in seconds *)
+  dur_s : float;  (** monotonic-clock duration in seconds; never negative *)
+  minor_words : float;  (** words allocated in the minor heap during the span *)
+  major_words : float;  (** words allocated in the major heap during the span *)
+  minor_collections : int;  (** minor GCs completed during the span *)
+  major_collections : int;  (** major GC cycles completed during the span *)
 }
 
 val set_enabled : bool -> unit
@@ -23,6 +30,9 @@ val now_s : unit -> float
 (** Wall-clock seconds; exposed so instrumented libraries can time code
     without depending on [unix] themselves. *)
 
+val now_mono_s : unit -> float
+(** Monotonic-clock seconds (arbitrary epoch).  Use differences only. *)
+
 val spans : unit -> span list
 (** Completed spans in chronological (start-time) order.  At most
     {!max_recorded} spans are kept; see {!dropped}. *)
@@ -30,9 +40,31 @@ val spans : unit -> span list
 val max_recorded : int
 val dropped : unit -> int
 
+(** {1 Per-name profile} *)
+
+type profile_row = {
+  p_name : string;
+  calls : int;
+  total_s : float;
+  p_minor_words : float;
+  p_major_words : float;
+  p_minor_collections : int;
+  p_major_collections : int;
+}
+
+val profile : unit -> profile_row list
+(** Aggregate duration and allocation per span name over every recorded
+    span, sorted by descending total duration.  Nested spans contribute to
+    both their own name and every enclosing name (no self-time
+    subtraction). *)
+
+val total_seconds : string -> float
+(** Total recorded duration of all spans with the given name; 0 when none
+    were recorded. *)
+
 val clear : unit -> unit
 (** Forget recorded spans (the enable switch is untouched). *)
 
 val report : unit -> string
 (** Human-readable report: an indented chronological tree of spans (capped)
-    followed by per-name aggregate counts and total durations. *)
+    followed by the per-name profile with allocation deltas. *)

@@ -15,7 +15,7 @@ let run_seconds =
     "ddm_mc_run_seconds"
 
 let finish_run ~t0 ~samples ~hits =
-  let dt = Trace.now_s () -. t0 in
+  let dt = Trace.now_mono_s () -. t0 in
   Metrics.add samples_total samples;
   Metrics.add wins_total hits;
   Metrics.observe run_seconds dt;
@@ -28,7 +28,7 @@ let pp_estimate fmt e =
 let probability ~rng ~samples f =
   if samples <= 0 then invalid_arg "Mc.probability: samples";
   Trace.with_span "mc.probability" @@ fun () ->
-  let t0 = if !Metrics.on then Trace.now_s () else 0. in
+  let t0 = if !Metrics.on then Trace.now_mono_s () else 0. in
   let hits = ref 0 in
   for _ = 1 to samples do
     if f rng then incr hits
@@ -43,7 +43,7 @@ let probability ~rng ~samples f =
 let expectation ~rng ~samples f =
   if samples <= 0 then invalid_arg "Mc.expectation: samples";
   Trace.with_span "mc.expectation" @@ fun () ->
-  let t0 = if !Metrics.on then Trace.now_s () else 0. in
+  let t0 = if !Metrics.on then Trace.now_mono_s () else 0. in
   let acc = ref Stats.empty in
   for _ = 1 to samples do
     acc := Stats.add !acc (f rng)

@@ -237,6 +237,50 @@ let trace_tests =
         match Trace.spans () with
         | [ s ] -> Alcotest.(check string) "recorded anyway" "boom" s.Trace.name
         | _ -> Alcotest.fail "expected exactly one span"));
+    Alcotest.test_case "durations come from the monotonic clock and are nonnegative" `Quick
+      (fun () ->
+      let a = Trace.now_mono_s () in
+      let b = Trace.now_mono_s () in
+      Alcotest.(check bool) "monotonic clock does not go backwards" true (b >= a);
+      with_tracing (fun () ->
+        for _ = 1 to 200 do
+          Trace.with_span "tick" (fun () -> ())
+        done;
+        Alcotest.(check bool) "every duration nonnegative" true
+          (List.for_all (fun s -> s.Trace.dur_s >= 0.) (Trace.spans ()))));
+    Alcotest.test_case "profile aggregates per name with allocation deltas" `Quick (fun () ->
+      with_tracing (fun () ->
+        (* 3 calls under one name, each allocating a fresh list; a second
+           name stays allocation-light to keep the sort order interesting *)
+        for _ = 1 to 3 do
+          Trace.with_span "alloc_heavy" (fun () ->
+            Sys.opaque_identity (List.init 5000 (fun i -> float_of_int i)) |> ignore)
+        done;
+        Trace.with_span "alloc_light" (fun () -> ());
+        let rows = Trace.profile () in
+        Alcotest.(check int) "two distinct names" 2 (List.length rows);
+        let heavy = List.find (fun r -> r.Trace.p_name = "alloc_heavy") rows in
+        let light = List.find (fun r -> r.Trace.p_name = "alloc_light") rows in
+        Alcotest.(check int) "heavy calls pooled" 3 heavy.Trace.calls;
+        Alcotest.(check int) "light calls" 1 light.Trace.calls;
+        Alcotest.(check bool) "heavy span saw minor allocation" true
+          (heavy.Trace.p_minor_words > 1000.);
+        Alcotest.(check bool) "totals nonnegative" true
+          (heavy.Trace.total_s >= 0. && light.Trace.total_s >= 0.)));
+    Alcotest.test_case "disabled with_span is allocation-free" `Quick (fun () ->
+      Trace.set_enabled false;
+      Trace.clear ();
+      (* Pre-allocate the thunk so the loop body is a single load-and-branch
+         plus an indirect call; any per-iteration words would show up here. *)
+      let f = Sys.opaque_identity (fun () -> 0) in
+      let w0 = Gc.minor_words () in
+      for _ = 1 to 10_000 do
+        ignore (Sys.opaque_identity (Trace.with_span "off" f))
+      done;
+      let dw = Gc.minor_words () -. w0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "10k disabled spans allocated %.0f words (want < 100)" dw)
+        true (dw < 100.));
     Alcotest.test_case "report mentions the span and its aggregate" `Quick (fun () ->
       with_tracing (fun () ->
         Trace.with_span "report_me" (fun () -> ());
@@ -247,7 +291,8 @@ let trace_tests =
           let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
           go 0
         in
-        Alcotest.(check bool) "names the span" true (contains rep "report_me")));
+        Alcotest.(check bool) "names the span" true (contains rep "report_me");
+        Alcotest.(check bool) "has the per-name profile" true (contains rep "profile by name")));
   ]
 
 (* ------------------------------ exporters ------------------------------ *)
