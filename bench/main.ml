@@ -24,12 +24,21 @@
      x6         - scaling in n: certified optima to n=12, numeric to n=48
      x7         - unequal bin capacities (delta0 <> delta1)
      x8         - chaos: win-probability degradation and degraded-mode
-                  throughput under crash fault injection *)
+                  throughput under crash fault injection
+     x10        - parallel Monte-Carlo: lease-sharded sampling across
+                  domains (speedup + worker-count bit-identity)
+
+   -j N runs the Monte-Carlo groups (x8, x10) on N worker domains; the
+   lease-sharded sampler keeps their estimates bit-identical for every N. *)
 
 let section id title =
   Printf.printf "\n=============================================================\n";
   Printf.printf "[%s] %s\n" id title;
   Printf.printf "=============================================================\n"
+
+(* -j N from the command line; None keeps the historical sequential
+   sampler (and its exact byte-for-byte output). *)
+let jobs : int option ref = ref None
 
 (* ------------------------------------------------------------------ *)
 (* Figures 1-2                                                         *)
@@ -566,7 +575,8 @@ let x8 () =
           let rng = Rng.create ~seed:81 in
           let t0 = Trace.now_mono_s () in
           let est =
-            Fault_engine.win_probability_mc ~rng ~samples ~faults ~delta pattern protocol
+            Fault_engine.win_probability_mc ?domains:!jobs ~rng ~samples ~faults ~delta pattern
+              protocol
           in
           let dt = Trace.now_mono_s () -. t0 in
           let rate = if dt > 0. then float_of_int samples /. dt else 0. in
@@ -589,11 +599,53 @@ let x8 () =
   let resilient = Dist_protocol.with_fallback ~expected:full wt in
   let faults = Fault_model.make ~link_loss:0.3 () in
   let rng = Rng.create ~seed:82 in
-  let est = Fault_engine.win_probability_mc ~rng ~samples ~faults ~delta full resilient in
+  let est =
+    Fault_engine.win_probability_mc ?domains:!jobs ~rng ~samples ~faults ~delta full resilient
+  in
   Printf.printf
     "\nwith_fallback under 30%% link loss (weighted threshold over full info):\n\
      %-26s P(win) = %.6f (fallback = fair coin on broken views)\n"
     (Dist_protocol.name resilient) est.Mc.mean
+
+(* ------------------------------------------------------------------ *)
+(* X10: parallel Monte-Carlo - speedup and worker-count bit-identity   *)
+(* ------------------------------------------------------------------ *)
+
+let x10 () =
+  section "X10" "Parallel Monte-Carlo: lease-sharded sampling across domains (n = 3, delta = 1)";
+  let n = 3 and delta = 1. in
+  let samples = 300_000 in
+  let pattern = Comm_pattern.none ~n in
+  let beta_star = 1. -. (1. /. sqrt 7.) in
+  let protocol = Dist_protocol.common_threshold ~n beta_star in
+  let run j =
+    let rng = Rng.create ~seed:101 in
+    let t0 = Trace.now_mono_s () in
+    let est = Engine.win_probability_mc ~domains:j ~rng ~samples ~delta pattern protocol in
+    (est, Trace.now_mono_s () -. t0)
+  in
+  Printf.printf
+    "Samples are partitioned into %d leases, each owning an Rng.split-derived\n\
+     stream; workers steal whole leases and results merge in lease order, so the\n\
+     estimate depends on (seed, leases, samples) but never on the worker count:\n\
+     every row below must be bit-identical to -j 1.\n\n"
+    Mc_par.default_leases;
+  let est1, dt1 = run 1 in
+  Printf.printf "%-4s %-14s %-14s %-9s %s\n" "j" "P(win) MC" "samples/sec" "speedup"
+    "bit-identical to -j 1";
+  let js = [ 1; 2; 4 ] in
+  let js =
+    match !jobs with Some j when not (List.mem j js) -> js @ [ j ] | _ -> js
+  in
+  List.iter
+    (fun j ->
+      let est, dt = if j = 1 then (est1, dt1) else run j in
+      Printf.printf "%-4d %-14.10f %-14.0f %-9s %b\n" j est.Mc.mean
+        (if dt > 0. then float_of_int samples /. dt else 0.)
+        (Printf.sprintf "%.2fx" (dt1 /. Float.max 1e-9 dt))
+        (est.Mc.mean = est1.Mc.mean))
+    js;
+  Printf.printf "\nrecommended -j on this machine: %d\n" (Mc_par.recommended_domains ())
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benchmarks                                          *)
@@ -693,7 +745,7 @@ let groups =
   [
     ("fig1", fig1); ("fig2", fig2); ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4);
     ("l1", l1); ("p1", p1); ("x1", x1); ("x2", x2); ("x3", x3); ("x4", x4);
-    ("x5", x5); ("x6", x6); ("x7", x7); ("x8", x8);
+    ("x5", x5); ("x6", x6); ("x7", x7); ("x8", x8); ("x10", x10);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -767,6 +819,7 @@ let write_report ~file records =
       created_s = Some (Unix.gettimeofday ());
       rev = Ledger.git_rev ();
       seed = None;
+      jobs = !jobs;
       total_wall_seconds = total;
       experiments = records;
     };
@@ -778,19 +831,29 @@ let write_report ~file records =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let want_bechamel = List.mem "--bechamel" args in
-  let flag_with_file flag args =
+  let flag_with_value flag docv args =
     let rec split acc = function
-      | f :: file :: rest when f = flag -> (Some file, List.rev_append acc rest)
+      | f :: v :: rest when f = flag -> (Some v, List.rev_append acc rest)
       | [ f ] when f = flag ->
-        Printf.eprintf "%s requires a FILE argument\n" flag;
+        Printf.eprintf "%s requires a %s argument\n" flag docv;
         exit 2
       | a :: rest -> split (a :: acc) rest
       | [] -> (None, List.rev acc)
     in
     split [] args
   in
+  let flag_with_file flag args = flag_with_value flag "FILE" args in
   let report_file, args = flag_with_file "--report" args in
   let ledger_file, args = flag_with_file "--ledger" args in
+  let jobs_str, args = flag_with_value "-j" "positive integer" args in
+  (match jobs_str with
+  | None -> ()
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some k when k > 0 -> jobs := Some k
+    | _ ->
+      Printf.eprintf "-j requires a positive integer (got %S)\n" s;
+      exit 2));
   let selected = List.filter (fun a -> a <> "--bechamel") args in
   let to_run =
     if selected = [] then groups
@@ -800,8 +863,8 @@ let () =
           match List.assoc_opt id groups with
           | Some f -> (id, f)
           | None ->
-            Printf.eprintf "unknown experiment %S; known: %s --bechamel --report FILE --ledger FILE\n"
-              id
+            Printf.eprintf
+              "unknown experiment %S; known: %s --bechamel --report FILE --ledger FILE -j N\n" id
               (String.concat " " (List.map fst groups));
             exit 2)
         selected

@@ -48,6 +48,19 @@ let samples_arg =
     & opt (pos_int "sample count") 200_000
     & info [ "samples" ] ~docv:"K" ~doc:"Monte-Carlo plays.")
 
+(* Absent -j keeps the historical single-stream sampler byte-for-byte;
+   with -j K the Monte-Carlo paths shard over lease-owned Rng.split
+   streams, and estimates depend only on (seed, leases, samples) — never
+   on K — so -j 1 output is the determinism reference for any -j K. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some (pos_int "worker count")) None
+    & info [ "j"; "jobs" ] ~docv:"J"
+        ~doc:
+          "Monte-Carlo worker domains. Estimates are bit-identical for every $(docv) at a fixed \
+           seed (lease-sharded sampling); omit to keep the historical sequential sampler.")
+
 let resolve_delta n = function Some d -> d | None -> Rat.of_ints n 3
 
 (* ------------------------- observability ------------------------- *)
@@ -259,7 +272,7 @@ let expand_params n = function
   | _ -> failwith "params length must be 1 or n"
 
 let eval_cmd =
-  let run n delta rule params samples seed () =
+  let run n delta rule params samples seed jobs () =
     let delta = resolve_delta n delta in
     let deltaf = Rat.to_float delta in
     let p = expand_params n params in
@@ -274,18 +287,30 @@ let eval_cmd =
       exact;
     let rng = Rng.create ~seed in
     let inst = Model.instance ~n ~delta:deltaf in
-    let est = Mc_eval.winning_probability ~rng ~samples inst model_rule in
+    let est = Mc_eval.winning_probability ?domains:jobs ~rng ~samples inst model_rule in
     Printf.printf "Monte-Carlo (%d plays): %s\n" samples (Format.asprintf "%a" Mc.pp_estimate est);
     Printf.printf "closed form inside 95%% interval: %b\n" (Mc.agrees est exact)
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a decision rule exactly and by simulation.")
-    (obs_term Term.(const run $ n_arg $ delta_arg $ rule_arg $ params_arg $ samples_arg $ seed_arg))
+    (obs_term
+       Term.(
+         const run $ n_arg $ delta_arg $ rule_arg $ params_arg $ samples_arg $ seed_arg $ jobs_arg))
 
 (* ------------------------- simulate ------------------------- *)
 
+(* Aggregate over plays; the parallel path merges one of these per lease,
+   in lease order, so the report is independent of the worker count. *)
+type sim_acc = {
+  wins : int;
+  over0 : int;
+  over1 : int;
+  loads : Stats.acc;
+  hist : Stats.histogram option;
+}
+
 let simulate_cmd =
-  let run n delta rule params samples seed () =
+  let run n delta rule params samples seed jobs hist_bins () =
     let delta = Rat.to_float (resolve_delta n delta) in
     let p = expand_params n params in
     let protocol =
@@ -295,31 +320,94 @@ let simulate_cmd =
     in
     let rng = Rng.create ~seed in
     let pattern = Comm_pattern.none ~n in
-    let wins = ref 0 and over0 = ref 0 and over1 = ref 0 in
-    let load_stats = ref Stats.empty in
-    for _ = 1 to samples do
+    let init () =
+      {
+        wins = 0;
+        over0 = 0;
+        over1 = 0;
+        loads = Stats.empty;
+        hist =
+          Option.map (fun bins -> Stats.histogram_empty ~bins ~lo:0. ~hi:(2. *. delta)) hist_bins;
+      }
+    in
+    let step acc rng =
       let o = Engine.run_once rng ~delta pattern protocol in
-      if o.Engine.win then incr wins;
-      if o.Engine.load0 > delta then incr over0;
-      if o.Engine.load1 > delta then incr over1;
-      load_stats := Stats.add !load_stats (Float.max o.Engine.load0 o.Engine.load1)
-    done;
+      let max_load = Float.max o.Engine.load0 o.Engine.load1 in
+      Option.iter (fun h -> Stats.histogram_observe h max_load) acc.hist;
+      {
+        acc with
+        wins = (acc.wins + if o.Engine.win then 1 else 0);
+        over0 = (acc.over0 + if o.Engine.load0 > delta then 1 else 0);
+        over1 = (acc.over1 + if o.Engine.load1 > delta then 1 else 0);
+        loads = Stats.add acc.loads max_load;
+      }
+    in
+    let merge a b =
+      {
+        wins = a.wins + b.wins;
+        over0 = a.over0 + b.over0;
+        over1 = a.over1 + b.over1;
+        loads = Stats.merge a.loads b.loads;
+        hist =
+          (match (a.hist, b.hist) with
+          | Some x, Some y -> Some (Stats.histogram_merge x y)
+          | x, None -> x
+          | None, y -> y);
+      }
+    in
+    let acc =
+      match jobs with
+      | None ->
+        (* the historical single-stream draw order, byte-for-byte *)
+        let acc = ref (init ()) in
+        for _ = 1 to samples do
+          acc := step !acc rng
+        done;
+        !acc
+      | Some domains -> Mc_par.fold ~domains ~rng ~samples ~init ~step ~merge ()
+    in
     let f c = float_of_int c /. float_of_int samples in
     Printf.printf "protocol: %s over %s\n" (Dist_protocol.name protocol)
       (Comm_pattern.to_string pattern);
-    Printf.printf "plays: %d   P(win) = %.6f\n" samples (f !wins);
-    Printf.printf "overflow rates: bin0 %.6f, bin1 %.6f\n" (f !over0) (f !over1);
-    Printf.printf "max-load: mean %.4f, stddev %.4f\n" (Stats.mean !load_stats)
-      (Stats.stddev !load_stats)
+    Printf.printf "plays: %d   P(win) = %.6f\n" samples (f acc.wins);
+    Printf.printf "overflow rates: bin0 %.6f, bin1 %.6f\n" (f acc.over0) (f acc.over1);
+    Printf.printf "max-load: mean %.4f, stddev %.4f\n" (Stats.mean acc.loads)
+      (Stats.stddev acc.loads);
+    match acc.hist with
+    | None -> ()
+    | Some h ->
+      let bins = Array.length h.Stats.counts in
+      Printf.printf "max-load histogram (%d bins over [0, %g], %d outlier%s above the range):\n"
+        bins h.Stats.hi h.Stats.outliers
+        (if h.Stats.outliers = 1 then "" else "s");
+      let peak = Array.fold_left max 1 h.Stats.counts in
+      for i = 0 to bins - 1 do
+        Printf.printf "  %8.4f %9.5f %8d %s\n" (Stats.bin_center h i) (Stats.histogram_density h i)
+          h.Stats.counts.(i)
+          (String.make (40 * h.Stats.counts.(i) / peak) '#')
+      done
+  in
+  let hist_arg =
+    Arg.(
+      value
+      & opt (some (pos_int "histogram bin count")) None
+      & info [ "hist" ] ~docv:"BINS"
+          ~doc:
+            "Also print a max-load histogram with $(docv) bins over [0, 2*delta]. Samples \
+             beyond the range are reported as outliers rather than clamped into the edge \
+             bins.")
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the distributed system and report outcome statistics.")
-    (obs_term Term.(const run $ n_arg $ delta_arg $ rule_arg $ params_arg $ samples_arg $ seed_arg))
+    (obs_term
+       Term.(
+         const run $ n_arg $ delta_arg $ rule_arg $ params_arg $ samples_arg $ seed_arg $ jobs_arg
+         $ hist_arg))
 
 (* ------------------------- banded ------------------------- *)
 
 let banded_cmd =
-  let run n delta params samples seed () =
+  let run n delta params samples seed jobs () =
     let delta_r = resolve_delta n delta in
     let delta = Rat.to_float delta_r in
     let rule, p =
@@ -342,7 +430,7 @@ let banded_cmd =
       (snd (Threshold.optimum_sym ~n ~delta ()));
     let rng = Rng.create ~seed in
     let inst = Model.instance ~n ~delta in
-    let est = Mc_eval.winning_probability ~rng ~samples inst (Banded.to_rule rule) in
+    let est = Mc_eval.winning_probability ?domains:jobs ~rng ~samples inst (Banded.to_rule rule) in
     Printf.printf "Monte-Carlo (%d plays): %s\n" samples (Format.asprintf "%a" Mc.pp_estimate est)
   in
   Cmd.v
@@ -350,13 +438,14 @@ let banded_cmd =
        ~doc:
          "Evaluate or optimize banded randomized rules (the family behind experiment X3), \
           with the exact mixture-of-uniforms evaluator.")
-    (obs_term Term.(const run $ n_arg $ delta_arg $ params_arg $ samples_arg $ seed_arg))
+    (obs_term
+       Term.(const run $ n_arg $ delta_arg $ params_arg $ samples_arg $ seed_arg $ jobs_arg))
 
 (* ------------------------- chaos ------------------------- *)
 
 let chaos_cmd =
-  let run n delta rule params samples seed crash crash_mode loss stale noise jitter sweep points
-      csv () =
+  let run n delta rule params samples seed jobs crash crash_mode loss stale noise jitter sweep
+      points csv () =
     let delta_r = resolve_delta n delta in
     let deltaf = Rat.to_float delta_r in
     let protocol =
@@ -391,7 +480,8 @@ let chaos_cmd =
     let pattern = Comm_pattern.none ~n in
     let rng = Rng.create ~seed in
     let report =
-      Degradation.sweep ~grid_points ~rng ~samples ~rates ~model_of ~delta:deltaf pattern protocol
+      Degradation.sweep ~grid_points ?domains:jobs ~rng ~samples ~rates ~model_of ~delta:deltaf
+        pattern protocol
     in
     Printf.printf "instance: n = %d, delta = %s\n" n (Rat.to_string delta_r);
     Printf.printf "protocol: %s over %s\n" report.Degradation.protocol_name
@@ -473,7 +563,7 @@ let chaos_cmd =
           paper's optimal algorithms against their fault-free baselines.")
     (obs_term
        Term.(
-         const run $ n_arg $ delta_arg $ rule_arg $ params_arg $ samples_arg $ seed_arg
+         const run $ n_arg $ delta_arg $ rule_arg $ params_arg $ samples_arg $ seed_arg $ jobs_arg
          $ crash_arg $ crash_mode_arg $ loss_arg $ stale_arg $ noise_arg $ jitter_arg $ sweep_arg
          $ points_arg $ csv_arg))
 
@@ -483,8 +573,11 @@ let chaos_cmd =
    about, each sized to land in the low-millisecond range so a --repeat 3
    recording stays under a second but clears the noise model's absolute
    floor.  Workloads take the base seed so repeated recordings are
-   deterministic given --seed. *)
-let perf_suite : (string * (int -> unit)) list =
+   deterministic given --seed.  The suite takes the -j value so the
+   parallel MC workload is recorded at the worker count under test; its
+   baseline entry (recorded at -j 1) is what `perf check` gates the
+   multicore speedup against. *)
+let perf_suite ~jobs : (string * (int -> unit)) list =
   [
     ( "perf-sym-eval-n5",
       fun _ ->
@@ -510,6 +603,14 @@ let perf_suite : (string * (int -> unit)) list =
         let rng = Rng.create ~seed in
         ignore
           (Engine.win_probability_mc ~rng ~samples:100_000 ~delta:1. (Comm_pattern.none ~n:3)
+             (Dist_protocol.common_threshold ~n:3 0.62)) );
+    ( "perf-mc-par-100k-n3",
+      fun seed ->
+        let rng = Rng.create ~seed in
+        ignore
+          (Engine.win_probability_mc
+             ~domains:(Option.value ~default:1 jobs)
+             ~rng ~samples:100_000 ~delta:1. (Comm_pattern.none ~n:3)
              (Dist_protocol.common_threshold ~n:3 0.62)) );
     ( "perf-ih-cdf-m20",
       fun _ ->
@@ -571,19 +672,20 @@ let measure_experiment ~repeat ~seed (id, f) =
     metrics;
   }
 
-let record_suite ~repeat ~seed ~only =
+let record_suite ~repeat ~seed ~only ~jobs =
+  let all = perf_suite ~jobs in
   let suite =
     match only with
-    | [] -> perf_suite
+    | [] -> all
     | ids ->
       List.map
         (fun id ->
-          match List.assoc_opt id perf_suite with
+          match List.assoc_opt id all with
           | Some f -> (id, f)
           | None ->
             failwith
               (Printf.sprintf "unknown perf experiment %S; known: %s" id
-                 (String.concat " " (List.map fst perf_suite))))
+                 (String.concat " " (List.map fst all))))
         ids
   in
   (* The suite needs its own instrumentation regardless of --metrics /
@@ -605,6 +707,7 @@ let record_suite ~repeat ~seed ~only =
     created_s = Some (Unix.gettimeofday ());
     rev = Ledger.git_rev ();
     seed = Some seed;
+    jobs = Some (Option.value ~default:1 jobs);
     total_wall_seconds = List.fold_left (fun acc r -> acc +. r.Baseline.wall_seconds) 0. records;
     experiments = records;
   }
@@ -675,8 +778,8 @@ let render_diff fmt ~noise comparisons =
   | `Json -> print_endline (Baseline.diff_to_json ~noise comparisons)
 
 let perf_record_cmd =
-  let run out repeat seed only () =
-    let report = record_suite ~repeat ~seed ~only in
+  let run out repeat seed only jobs () =
+    let report = record_suite ~repeat ~seed ~only ~jobs in
     Baseline.write ~file:out report;
     Printf.printf "wrote %s: %d experiment%s, %d run%s each, %.3f s total%s\n" out
       (List.length report.Baseline.experiments)
@@ -696,8 +799,8 @@ let perf_record_cmd =
     (Cmd.info "record"
        ~doc:
          "Run the built-in perf suite and write a ddm.bench.report/v2 baseline (per-repeat run \
-          times, MC-span throughput, GC allocation stats, seed, git revision).")
-    (obs_term Term.(const run $ out_arg $ repeat_arg $ seed_arg $ only_arg))
+          times, MC-span throughput, GC allocation stats, seed, git revision, -j value).")
+    (obs_term Term.(const run $ out_arg $ repeat_arg $ seed_arg $ only_arg $ jobs_arg))
 
 let perf_diff_cmd =
   let run old_file new_file tolerance min_delta_ms z fmt () =
@@ -719,7 +822,7 @@ let perf_diff_cmd =
        Term.(const run $ old_arg $ new_arg $ tolerance_arg $ min_delta_arg $ z_arg $ diff_format_arg))
 
 let perf_check_cmd =
-  let run baseline against tolerance min_delta_ms z fmt repeat seed () =
+  let run baseline against tolerance min_delta_ms z fmt repeat seed jobs () =
     let noise = noise_of ~tolerance ~min_delta_ms ~z in
     let old_report = load_report_or_die baseline in
     let new_report =
@@ -728,7 +831,7 @@ let perf_check_cmd =
       | None ->
         Printf.printf "recording a fresh run of the perf suite (%d repeat%s)...\n" repeat
           (if repeat = 1 then "" else "s");
-        record_suite ~repeat ~seed ~only:[]
+        record_suite ~repeat ~seed ~only:[] ~jobs
     in
     let comparisons = Baseline.diff ~noise ~old_report ~new_report () in
     render_diff fmt ~noise comparisons;
@@ -761,7 +864,7 @@ let perf_check_cmd =
     (obs_term
        Term.(
          const run $ baseline_arg $ against_arg $ tolerance_arg $ min_delta_arg $ z_arg
-         $ diff_format_arg $ repeat_arg $ seed_arg))
+         $ diff_format_arg $ repeat_arg $ seed_arg $ jobs_arg))
 
 let perf_cmd =
   Cmd.group

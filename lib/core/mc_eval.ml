@@ -1,5 +1,5 @@
-let winning_probability ~rng ~samples inst rule =
+let winning_probability ?domains ?leases ~rng ~samples inst rule =
   Trace.with_span "mc_eval.winning_probability" @@ fun () ->
-  Mc.probability ~rng ~samples (fun rng -> (Model.play rng inst rule).Model.win)
+  Mc.probability ?domains ?leases ~rng ~samples (fun rng -> (Model.play rng inst rule).Model.win)
 
 let check_against = Mc.agrees

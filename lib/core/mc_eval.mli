@@ -4,7 +4,9 @@
     vectors. *)
 
 val winning_probability :
-  rng:Rng.t -> samples:int -> Model.instance -> Model.rule -> Mc.estimate
+  ?domains:int -> ?leases:int -> rng:Rng.t -> samples:int -> Model.instance -> Model.rule -> Mc.estimate
+(** [?domains]/[?leases] select {!Mc.probability}'s lease-sharded parallel
+    path (worker-count-independent estimates at a fixed seed). *)
 
 val check_against : Mc.estimate -> float -> bool
 (** Alias of {!Mc.agrees}. *)

@@ -25,6 +25,14 @@ let deadline_exceeded =
   Metrics.counter ~help:"Decide evaluations abandoned at the retry deadline or attempt cap"
     "ddm_faults_deadline_exceeded_total"
 
+(* Resource exhaustion and tripped assertions are the process's problem,
+   not the protocol's: converting them into the fallback probability would
+   hide heap corruption behind a plausible-looking 0.5.  Only non-fatal
+   exceptions are retry-worthy. *)
+let fatal_exn = function
+  | Out_of_memory | Stack_overflow | Assert_failure _ | Sys.Break -> true
+  | _ -> false
+
 let retry_under ~deadline_s ?(attempts = 3) ?(default = 0.5) protocol =
   if not (deadline_s > 0.) then invalid_arg "Engine.retry_under: deadline_s must be positive";
   if attempts < 1 then invalid_arg "Engine.retry_under: attempts must be >= 1";
@@ -34,7 +42,7 @@ let retry_under ~deadline_s ?(attempts = 3) ?(default = 0.5) protocol =
     (fun v ->
       let start = Trace.now_mono_s () in
       let rec go k =
-        match (try Some (Dist_protocol.decide protocol v) with _ -> None) with
+        match (try Some (Dist_protocol.decide protocol v) with e when not (fatal_exn e) -> None) with
         | Some p when Float.is_finite p -> p
         | _ ->
           Metrics.incr retries;
@@ -91,9 +99,10 @@ let run_once ?(sampler = Rng.float01) rng ~delta pattern protocol =
   let load0, load1 = loads inputs decisions in
   { inputs; decisions; load0; load1; win = load0 <= delta && load1 <= delta }
 
-let win_probability_mc ?sampler ~rng ~samples ~delta pattern protocol =
+let win_probability_mc ?sampler ?domains ?leases ~rng ~samples ~delta pattern protocol =
   Trace.with_span "engine.mc" @@ fun () ->
-  Mc.probability ~rng ~samples (fun rng -> (run_once ?sampler rng ~delta pattern protocol).win)
+  Mc.probability ?domains ?leases ~rng ~samples (fun rng ->
+      (run_once ?sampler rng ~delta pattern protocol).win)
 
 let win_probability_given ~delta pattern protocol inputs =
   let n = Comm_pattern.n pattern in

@@ -20,7 +20,9 @@ val retry_under : deadline_s:float -> ?attempts:int -> ?default:float -> Dist_pr
 (** Deadline-bounded evaluation: re-invoke a decide rule that raised or
     returned a non-finite value, up to [attempts] (default 3) tries and a
     wall-clock budget of [deadline_s] seconds per decision, then give up
-    and answer [default] (0.5). Retries are counted in
+    and answer [default] (0.5). Fatal exceptions ([Out_of_memory],
+    [Stack_overflow], [Assert_failure], [Sys.Break]) are re-raised rather
+    than retried or converted into the fallback. Retries are counted in
     [ddm_faults_retries_total] and abandoned decisions in
     [ddm_faults_deadline_exceeded_total].
     @raise Invalid_argument on a non-positive deadline or attempt count. *)
@@ -36,7 +38,12 @@ val run_once :
 
 val win_probability_mc :
   ?sampler:(Rng.t -> float) ->
+  ?domains:int ->
+  ?leases:int ->
   rng:Rng.t -> samples:int -> delta:float -> Comm_pattern.t -> Dist_protocol.t -> Mc.estimate
+(** Monte-Carlo estimate of the win probability. [?domains]/[?leases]
+    select {!Mc.probability}'s lease-sharded parallel path; estimates are
+    bit-identical for every worker count at a fixed seed. *)
 
 val win_probability_given : delta:float -> Comm_pattern.t -> Dist_protocol.t -> float array -> float
 (** Exact win probability conditioned on the input vector: enumerates the

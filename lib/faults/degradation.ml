@@ -23,14 +23,15 @@ type report = {
   points : point list;
 }
 
-let sweep ?(grid_points = 64) ~rng ~samples ~rates ~model_of ~delta pattern protocol =
+let sweep ?(grid_points = 64) ?domains ?leases ~rng ~samples ~rates ~model_of ~delta pattern
+    protocol =
   Trace.with_span "faults.degradation_sweep" @@ fun () ->
   let baseline_exact = Engine.win_probability_grid ~points:grid_points ~delta pattern protocol in
   (* every sweep point owns a split-off stream: adding a rate or changing
      the sample count of one point never shifts another's randomness *)
   let baseline_mc =
-    Fault_engine.win_probability_mc ~rng:(Rng.split rng) ~samples ~faults:Fault_model.none ~delta
-      pattern protocol
+    Fault_engine.win_probability_mc ?domains ?leases ~rng:(Rng.split rng) ~samples
+      ~faults:Fault_model.none ~delta pattern protocol
   in
   let points =
     List.map
@@ -38,8 +39,8 @@ let sweep ?(grid_points = 64) ~rng ~samples ~rates ~model_of ~delta pattern prot
         let faults = model_of rate in
         Fault_model.validate faults;
         let estimate =
-          Fault_engine.win_probability_mc ~rng:(Rng.split rng) ~samples ~faults ~delta pattern
-            protocol
+          Fault_engine.win_probability_mc ?domains ?leases ~rng:(Rng.split rng) ~samples ~faults
+            ~delta pattern protocol
         in
         let exact =
           if Fault_model.crash_foldable faults then

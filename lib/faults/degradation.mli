@@ -32,6 +32,8 @@ type report = {
 
 val sweep :
   ?grid_points:int ->
+  ?domains:int ->
+  ?leases:int ->
   rng:Rng.t ->
   samples:int ->
   rates:float list ->
@@ -43,7 +45,9 @@ val sweep :
 (** Run the sweep. Each sweep point (and the baseline) draws from its own
     {!Rng.split}-off stream, so reports are reproducible per seed and
     stable under adding rates. [model_of] maps the swept rate to the full
-    fault model (fix the other dimensions inside it). *)
+    fault model (fix the other dimensions inside it). [?domains]/[?leases]
+    parallelize each point's MC estimate (worker-count-independent, see
+    {!Mc.probability}). *)
 
 val monotone_nonincreasing : ?slack:float -> report -> bool
 (** Does the win probability degrade monotonically along [points]?

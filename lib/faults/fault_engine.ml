@@ -152,10 +152,10 @@ let run_once ?(sampler = Rng.float01) rng ~faults:(m : Fault_model.t) ~delta pat
     faults = !fault_count;
   }
 
-let win_probability_mc ?sampler ~rng ~samples ~faults ~delta pattern protocol =
+let win_probability_mc ?sampler ?domains ?leases ~rng ~samples ~faults ~delta pattern protocol =
   Fault_model.validate faults;
   Trace.with_span "faults.mc" @@ fun () ->
-  Mc.probability ~rng ~samples (fun rng ->
+  Mc.probability ?domains ?leases ~rng ~samples (fun rng ->
     (run_once ?sampler rng ~faults ~delta pattern protocol).win)
 
 (* ------------------------- exact crash fold ------------------------- *)

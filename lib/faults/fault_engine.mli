@@ -38,6 +38,8 @@ val run_once :
 
 val win_probability_mc :
   ?sampler:(Rng.t -> float) ->
+  ?domains:int ->
+  ?leases:int ->
   rng:Rng.t ->
   samples:int ->
   faults:Fault_model.t ->
@@ -45,7 +47,10 @@ val win_probability_mc :
   Comm_pattern.t ->
   Dist_protocol.t ->
   Mc.estimate
-(** Monte-Carlo win probability under faults, with a Wilson 95% CI. *)
+(** Monte-Carlo win probability under faults, with a Wilson 95% CI.
+    [?domains]/[?leases] select {!Mc.probability}'s lease-sharded parallel
+    path; fault counters stay exact (they are atomic) and estimates are
+    bit-identical for every worker count at a fixed seed. *)
 
 val win_probability_given :
   faults:Fault_model.t -> delta:float -> Comm_pattern.t -> Dist_protocol.t -> float array -> float

@@ -37,6 +37,7 @@ type report = {
   created_s : float option;
   rev : string option;
   seed : int option;
+  jobs : int option;  (* worker domains the MC workloads ran with *)
   total_wall_seconds : float;
   experiments : experiment list;
 }
@@ -82,6 +83,7 @@ let of_json json =
         created_s = Jsonx.float_member "created_s" json;
         rev = Jsonx.string_member "git_rev" json;
         seed = Jsonx.int_member "seed" json;
+        jobs = Jsonx.int_member "jobs" json;
         total_wall_seconds = Option.value ~default:0. (Jsonx.float_member "total_wall_seconds" json);
         experiments;
       }
@@ -175,6 +177,7 @@ let to_json r =
     @ opt "created_s" (fun v -> Jsonx.Num v) r.created_s
     @ opt "git_rev" (fun v -> Jsonx.Str v) r.rev
     @ opt "seed" (fun v -> Jsonx.Num (float_of_int v)) r.seed
+    @ opt "jobs" (fun v -> Jsonx.Num (float_of_int v)) r.jobs
     @ [
         ("total_wall_seconds", Jsonx.Num r.total_wall_seconds);
         ("experiments", Jsonx.Arr (List.map experiment_to_json r.experiments));

@@ -31,6 +31,7 @@ type report = {
   created_s : float option;  (** v2: Unix epoch seconds at write time *)
   rev : string option;  (** v2: git revision *)
   seed : int option;  (** v2: base PRNG seed of the run, when one exists *)
+  jobs : int option;  (** v2: worker domains ([-j]) the MC workloads used *)
   total_wall_seconds : float;
   experiments : experiment list;
 }

@@ -1,9 +1,14 @@
 (* Process-global metrics registry.  Counters, gauges and histograms are
-   plain mutable records found-or-created once at module-init time; every
-   update is gated on the single [on] flag so the disabled path is one
-   load-and-branch with no allocation. *)
+   mutable records found-or-created once at module-init time; every update
+   is gated on the single [on] flag so the disabled path is one
+   load-and-branch with no allocation.
 
-type counter = { c_name : string; mutable c_value : int }
+   Counter cells are atomic so instrumented code keeps counting correctly
+   from Monte-Carlo worker domains (Mc_par); gauges and histograms stay
+   plain — they are only written from the main domain (the parallel
+   runners merge per-worker tallies on join and publish once). *)
+
+type counter = { c_name : string; c_value : int Atomic.t }
 type gauge = { g_name : string; mutable g_value : float }
 
 type histogram = {
@@ -35,7 +40,7 @@ let counter ?(help = "") name =
   | Some { metric = C c; _ } -> c
   | Some _ -> kind_mismatch name
   | None -> (
-    match register name help (C { c_name = name; c_value = 0 }) with
+    match register name help (C { c_name = name; c_value = Atomic.make 0 }) with
     | C c -> c
     | _ -> assert false)
 
@@ -76,12 +81,12 @@ let histogram ?(help = "") ~buckets name =
     in
     match register name help (H h) with H h -> h | _ -> assert false)
 
-let incr c = if !on then c.c_value <- c.c_value + 1
+let incr c = if !on then Atomic.incr c.c_value
 
 let add c k =
   if !on then begin
     if k < 0 then invalid_arg (Printf.sprintf "Metrics.add %S: negative increment" c.c_name);
-    c.c_value <- c.c_value + k
+    ignore (Atomic.fetch_and_add c.c_value k)
   end
 
 let set g v = if !on then g.g_value <- v
@@ -98,7 +103,7 @@ let observe h v =
     h.h_count <- h.h_count + 1
   end
 
-let counter_value c = c.c_value
+let counter_value c = Atomic.get c.c_value
 let gauge_value g = g.g_value
 
 type value =
@@ -111,7 +116,7 @@ type sample = { name : string; help : string; value : value }
 let sample_of name { metric; help } =
   let value =
     match metric with
-    | C c -> Counter_v c.c_value
+    | C c -> Counter_v (Atomic.get c.c_value)
     | G g -> Gauge_v g.g_value
     | H h ->
       Histogram_v
@@ -129,7 +134,7 @@ let reset () =
   Hashtbl.iter
     (fun _ { metric; _ } ->
       match metric with
-      | C c -> c.c_value <- 0
+      | C c -> Atomic.set c.c_value 0
       | G g -> g.g_value <- 0.
       | H h ->
         Array.fill h.counts 0 (Array.length h.counts) 0;

@@ -10,7 +10,13 @@
     Registration is idempotent: asking for a metric whose name is already
     registered returns the existing object (and raises [Invalid_argument]
     if the kind or buckets differ), which lets distant modules share a
-    counter by name. *)
+    counter by name.
+
+    Domain-safety: counter updates are atomic, so instrumented code may run
+    inside Monte-Carlo worker domains (see [Mc_par]) without losing
+    increments.  Gauges and histograms are {e not} synchronized — update
+    them from the main domain only (the parallel runners accumulate
+    per-worker tallies and publish gauge values once, after the join). *)
 
 type counter
 type gauge

@@ -20,31 +20,55 @@ let now_s () = Unix.gettimeofday ()
 let now_mono_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
 
 let max_recorded = 10_000
-let recorded : span list ref = ref [] (* completion order, newest first *)
-let n_recorded = ref 0
-let n_dropped = ref 0
-let depth = ref 0
 
-let dropped () = !n_dropped
+(* Span storage is domain-local: each domain records into its own buffer so
+   Monte-Carlo workers (Mc_par) can trace without synchronization.  A worker
+   [drain]s its buffer before joining and the main domain [absorb]s the
+   result into its own profile. *)
+type buffer = {
+  mutable recorded : span list; (* completion order, newest first *)
+  mutable n_recorded : int;
+  mutable n_dropped : int;
+  mutable depth : int;
+}
+
+let buffer_key =
+  Domain.DLS.new_key (fun () -> { recorded = []; n_recorded = 0; n_dropped = 0; depth = 0 })
+
+let buffer () = Domain.DLS.get buffer_key
+let dropped () = (buffer ()).n_dropped
 
 let clear () =
-  recorded := [];
-  n_recorded := 0;
-  n_dropped := 0;
-  depth := 0
+  let b = buffer () in
+  b.recorded <- [];
+  b.n_recorded <- 0;
+  b.n_dropped <- 0;
+  b.depth <- 0
 
 let record s =
-  if !n_recorded < max_recorded then begin
-    recorded := s :: !recorded;
-    incr n_recorded
+  let b = buffer () in
+  if b.n_recorded < max_recorded then begin
+    b.recorded <- s :: b.recorded;
+    b.n_recorded <- b.n_recorded + 1
   end
-  else incr n_dropped
+  else b.n_dropped <- b.n_dropped + 1
+
+let drain () =
+  let b = buffer () in
+  let spans = b.recorded in
+  b.recorded <- [];
+  b.n_recorded <- 0;
+  b.n_dropped <- 0;
+  spans
+
+let absorb spans = List.iter record (List.rev spans)
 
 let with_span name f =
   if not !on then f ()
   else begin
-    let d = !depth in
-    incr depth;
+    let b = buffer () in
+    let d = b.depth in
+    b.depth <- d + 1;
     let start_s = now_s () in
     let t0 = now_mono_s () in
     (* quick_stat.minor_words is only refreshed at minor collections, so a
@@ -57,7 +81,7 @@ let with_span name f =
         let dur_s = now_mono_s () -. t0 in
         let mw1 = Gc.minor_words () in
         let g1 = Gc.quick_stat () in
-        decr depth;
+        b.depth <- b.depth - 1;
         record
           {
             name;
@@ -75,7 +99,7 @@ let with_span name f =
 let spans () =
   List.stable_sort
     (fun a b -> compare (a.start_s, a.depth) (b.start_s, b.depth))
-    (List.rev !recorded)
+    (List.rev (buffer ()).recorded)
 
 type profile_row = {
   p_name : string;
@@ -119,12 +143,14 @@ let profile () =
           p_minor_collections = row.p_minor_collections + s.minor_collections;
           p_major_collections = row.p_major_collections + s.major_collections;
         })
-    !recorded;
+    (buffer ()).recorded;
   Hashtbl.fold (fun _ row acc -> row :: acc) agg []
   |> List.sort (fun a b -> compare b.total_s a.total_s)
 
 let total_seconds name =
-  List.fold_left (fun acc s -> if s.name = name then acc +. s.dur_s else acc) 0. !recorded
+  List.fold_left
+    (fun acc s -> if s.name = name then acc +. s.dur_s else acc)
+    0. (buffer ()).recorded
 
 let pp_duration dur =
   if dur >= 1. then Printf.sprintf "%8.3f s " dur
@@ -138,13 +164,14 @@ let pp_words w =
   else Printf.sprintf "%8.0f w" w
 
 let report () =
+  let b = buffer () in
   let buf = Buffer.create 1024 in
   let all = spans () in
   let tree_cap = 100 in
   Buffer.add_string buf
-    (Printf.sprintf "trace: %d span%s recorded%s\n" !n_recorded
-       (if !n_recorded = 1 then "" else "s")
-       (if !n_dropped > 0 then Printf.sprintf " (%d dropped)" !n_dropped else ""));
+    (Printf.sprintf "trace: %d span%s recorded%s\n" b.n_recorded
+       (if b.n_recorded = 1 then "" else "s")
+       (if b.n_dropped > 0 then Printf.sprintf " (%d dropped)" b.n_dropped else ""));
   List.iteri
     (fun i s ->
       if i < tree_cap then
@@ -152,8 +179,8 @@ let report () =
           (Printf.sprintf "  %s  %s%s\n" (pp_duration s.dur_s) (String.make (2 * s.depth) ' ')
              s.name))
     all;
-  if !n_recorded > tree_cap then
-    Buffer.add_string buf (Printf.sprintf "  ... (%d more)\n" (!n_recorded - tree_cap));
+  if b.n_recorded > tree_cap then
+    Buffer.add_string buf (Printf.sprintf "  ... (%d more)\n" (b.n_recorded - tree_cap));
   if all <> [] then begin
     Buffer.add_string buf
       (Printf.sprintf "  %-32s %8s %12s %12s %10s %10s %7s\n" "profile by name" "calls" "total"

@@ -6,7 +6,13 @@
     epoch timestamp is kept only for [start_s].  Each span also carries the
     GC allocation delta ([Gc.quick_stat] at entry vs exit).  Tracing is off
     by default and the disabled path is a single branch — no clock reads,
-    no GC stats, no allocation. *)
+    no GC stats, no allocation.
+
+    Span storage is domain-local: each domain records into its own buffer,
+    so worker domains (see [Mc_par]) can trace without synchronization.
+    Before a worker finishes it calls {!drain}; the main domain folds the
+    result into its own buffer with {!absorb}.  The enable switch stays
+    process-global. *)
 
 type span = {
   name : string;
@@ -63,7 +69,21 @@ val total_seconds : string -> float
     were recorded. *)
 
 val clear : unit -> unit
-(** Forget recorded spans (the enable switch is untouched). *)
+(** Forget the calling domain's recorded spans (the enable switch is
+    untouched). *)
+
+(** {1 Cross-domain folding} *)
+
+val drain : unit -> span list
+(** Remove and return the calling domain's recorded spans (newest first,
+    the order {!absorb} expects).  Resets the recorded and dropped counts
+    but not the nesting depth, so it is safe to call from inside an open
+    span (a worker draining before it joins). *)
+
+val absorb : span list -> unit
+(** Append spans drained on another domain to the calling domain's buffer,
+    preserving their recorded order and depths.  Spans beyond
+    {!max_recorded} count as dropped. *)
 
 val report : unit -> string
 (** Human-readable report: an indented chronological tree of spans (capped)

@@ -25,32 +25,50 @@ let pp_estimate fmt e =
   let lo, hi = e.ci95 in
   Format.fprintf fmt "%.6f ± %.6f [%.6f, %.6f] (n=%d)" e.mean e.stderr lo hi e.samples
 
-let probability ~rng ~samples f =
+(* [?domains:None] keeps the historical single-stream draw order
+   byte-for-byte (every committed golden depends on it).  [?domains:(Some
+   k)] switches to the lease-sharded Mc_par path, whose estimates depend
+   on (seed, leases, samples) but not on [k] — [-j 1] is the reference for
+   any [-j k].  Counters are merged on join and the throughput gauge is
+   written once here, on the calling domain, so nothing races. *)
+let probability ?domains ?leases ~rng ~samples f =
   if samples <= 0 then invalid_arg "Mc.probability: samples";
   Trace.with_span "mc.probability" @@ fun () ->
   let t0 = if !Metrics.on then Trace.now_mono_s () else 0. in
-  let hits = ref 0 in
-  for _ = 1 to samples do
-    if f rng then incr hits
-  done;
-  if !Metrics.on then finish_run ~t0 ~samples ~hits:!hits;
+  let hits =
+    match domains with
+    | None ->
+      let hits = ref 0 in
+      for _ = 1 to samples do
+        if f rng then incr hits
+      done;
+      !hits
+    | Some domains -> Mc_par.count ?leases ~domains ~rng ~samples f
+  in
+  if !Metrics.on then finish_run ~t0 ~samples ~hits;
   let n = float_of_int samples in
-  let p = float_of_int !hits /. n in
+  let p = float_of_int hits /. n in
   let stderr = sqrt (p *. (1. -. p) /. n) in
-  let ci95 = Stats.wilson_interval ~successes:!hits ~trials:samples () in
+  let ci95 = Stats.wilson_interval ~successes:hits ~trials:samples () in
   { mean = p; stderr; ci95; samples }
 
-let expectation ~rng ~samples f =
+let expectation ?domains ?leases ~rng ~samples f =
   if samples <= 0 then invalid_arg "Mc.expectation: samples";
   Trace.with_span "mc.expectation" @@ fun () ->
   let t0 = if !Metrics.on then Trace.now_mono_s () else 0. in
-  let acc = ref Stats.empty in
-  for _ = 1 to samples do
-    acc := Stats.add !acc (f rng)
-  done;
+  let acc =
+    match domains with
+    | None ->
+      let acc = ref Stats.empty in
+      for _ = 1 to samples do
+        acc := Stats.add !acc (f rng)
+      done;
+      !acc
+    | Some domains -> Mc_par.fold_stats ?leases ~domains ~rng ~samples f
+  in
   if !Metrics.on then finish_run ~t0 ~samples ~hits:0;
-  let mean = Stats.mean !acc in
-  let stderr = Stats.stderr_of_mean !acc in
+  let mean = Stats.mean acc in
+  let stderr = Stats.stderr_of_mean acc in
   { mean; stderr; ci95 = (mean -. (1.96 *. stderr), mean +. (1.96 *. stderr)); samples }
 
 let agrees e v =

@@ -10,11 +10,24 @@ type estimate = {
 
 val pp_estimate : Format.formatter -> estimate -> unit
 
-val probability : rng:Rng.t -> samples:int -> (Rng.t -> bool) -> estimate
-(** Bernoulli estimation with a Wilson 95% interval. *)
+val probability :
+  ?domains:int -> ?leases:int -> rng:Rng.t -> samples:int -> (Rng.t -> bool) -> estimate
+(** Bernoulli estimation with a Wilson 95% interval.
 
-val expectation : rng:Rng.t -> samples:int -> (Rng.t -> float) -> estimate
-(** Sample-mean estimation with a normal-approximation 95% interval. *)
+    Without [?domains] the sampler is the historical single-stream loop
+    (byte-compatible with every committed golden).  With [~domains:k] the
+    run is sharded over [?leases] (default {!Mc_par.default_leases})
+    lease-owned [Rng.split] streams executed by [k] domains; the estimate
+    is bit-identical for every [k >= 1] at a fixed [(seed, leases,
+    samples)], so [~domains:1] is the determinism reference for any
+    [~domains:k].  The sampling closure must then be safe to run on other
+    domains (pure up to its own [Rng.t] draws — all closures in this
+    repository qualify). *)
+
+val expectation :
+  ?domains:int -> ?leases:int -> rng:Rng.t -> samples:int -> (Rng.t -> float) -> estimate
+(** Sample-mean estimation with a normal-approximation 95% interval.
+    [?domains]/[?leases] behave as in {!probability}. *)
 
 val agrees : estimate -> float -> bool
 (** [agrees e v]: does [v] fall within the (slightly widened) 95% interval?

@@ -1,0 +1,73 @@
+let default_leases = 64
+let recommended_domains () = Domain.recommended_domain_count ()
+
+(* Lease i gets [samples / leases] draws plus one of the remainder, so the
+   shares differ by at most one and every lease count partitions exactly. *)
+let lease_counts ~leases ~samples =
+  let base = samples / leases and extra = samples mod leases in
+  Array.init leases (fun i -> base + if i < extra then 1 else 0)
+
+let fold ?(leases = default_leases) ~domains ~rng ~samples ~init ~step ~merge () =
+  if domains < 1 then invalid_arg "Mc_par.fold: domains must be >= 1";
+  if leases < 1 then invalid_arg "Mc_par.fold: leases must be >= 1";
+  if samples < 0 then invalid_arg "Mc_par.fold: samples must be >= 0";
+  (* Derive every lease stream up front, in lease order, so the draw
+     sequence of lease i depends only on (root seed, leases, i) — never on
+     scheduling. *)
+  let streams = Array.init leases (fun _ -> Rng.split rng) in
+  let counts = lease_counts ~leases ~samples in
+  let results = Array.make leases None in
+  let next = Atomic.make 0 in
+  let run_lease i =
+    Trace.with_span "mc.par.lease" @@ fun () ->
+    let rng = streams.(i) in
+    let acc = ref (init ()) in
+    for _ = 1 to counts.(i) do
+      acc := step !acc rng
+    done;
+    (* Slots are disjoint per lease and published to the main domain by
+       Domain.join's happens-before edge. *)
+    results.(i) <- Some !acc
+  in
+  let rec worker () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < leases then begin
+      run_lease i;
+      worker ()
+    end
+  in
+  if domains = 1 then worker ()
+  else begin
+    let spawned =
+      Array.init
+        (min (domains - 1) leases)
+        (fun _ ->
+          Domain.spawn (fun () ->
+              worker ();
+              (* Hand tracing back to the main domain; an empty list when
+                 tracing is off. *)
+              Trace.drain ()))
+    in
+    let main_exn = (try worker (); None with e -> Some e) in
+    (* Join every domain even if one raised, so no worker outlives the
+       call; re-raise the main domain's exception first. *)
+    let joined = Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) spawned in
+    Array.iter (function Ok spans -> Trace.absorb spans | Error _ -> ()) joined;
+    (match main_exn with Some e -> raise e | None -> ());
+    Array.iter (function Error e -> raise e | Ok _ -> ()) joined
+  end;
+  Array.fold_left
+    (fun acc r -> match r with Some v -> merge acc v | None -> acc)
+    (init ()) results
+
+let count ?leases ~domains ~rng ~samples f =
+  fold ?leases ~domains ~rng ~samples
+    ~init:(fun () -> 0)
+    ~step:(fun acc rng -> if f rng then acc + 1 else acc)
+    ~merge:( + ) ()
+
+let fold_stats ?leases ~domains ~rng ~samples f =
+  fold ?leases ~domains ~rng ~samples
+    ~init:(fun () -> Stats.empty)
+    ~step:(fun acc rng -> Stats.add acc (f rng))
+    ~merge:Stats.merge ()

@@ -1,0 +1,55 @@
+(** Domain-pool Monte-Carlo runner with worker-count-independent
+    determinism.
+
+    Samples are partitioned into a fixed number of {e leases}.  Lease [i]
+    owns its own random stream, derived by the [i+1]-th [Rng.split] of the
+    root generator, and a fixed share of the sample budget.  Worker domains
+    steal whole leases from an atomic cursor, run them to completion, and
+    park each lease's accumulator in a per-lease slot; the main domain then
+    merges the slots {e in lease order}.  Which worker ran which lease
+    therefore cannot affect the result: for a fixed [(seed, leases,
+    samples)] triple, [domains:1] and [domains:8] produce bit-identical
+    estimates.  Changing [leases] selects different split streams and so a
+    different (equally valid) estimate.
+
+    Observability: workers may bump {!Metrics} counters (they are atomic);
+    gauges/histograms are left to the caller on the main domain.  When
+    tracing is enabled each lease is recorded as an ["mc.par.lease"] span
+    in its worker's domain-local buffer, and worker buffers are folded into
+    the main domain's profile on join ({!Trace.drain}/{!Trace.absorb}). *)
+
+val default_leases : int
+(** 64 — comfortably more leases than any realistic worker count, so the
+    pool load-balances even when per-sample cost is uneven. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()]: a sensible [-j] value for this
+    machine. *)
+
+val fold :
+  ?leases:int ->
+  domains:int ->
+  rng:Rng.t ->
+  samples:int ->
+  init:(unit -> 'a) ->
+  step:('a -> Rng.t -> 'a) ->
+  merge:('a -> 'a -> 'a) ->
+  unit ->
+  'a
+(** [fold ~domains ~rng ~samples ~init ~step ~merge ()] runs [step] on
+    [samples] draws sharded across [leases] leases and [domains] worker
+    domains (the calling domain is one of them, so [domains:1] spawns
+    nothing), then merges per-lease accumulators in lease order starting
+    from a fresh [init ()].  [rng] is advanced by exactly [leases] splits.
+    [merge] must be associative with [init ()] as identity; [step] and the
+    closures it captures must be safe to run on another domain.
+    @raise Invalid_argument when [domains < 1], [leases < 1], or
+    [samples < 0]. *)
+
+val count : ?leases:int -> domains:int -> rng:Rng.t -> samples:int -> (Rng.t -> bool) -> int
+(** Number of draws on which the predicate held. *)
+
+val fold_stats :
+  ?leases:int -> domains:int -> rng:Rng.t -> samples:int -> (Rng.t -> float) -> Stats.acc
+(** Welford accumulator over the sampled values, merged with
+    {!Stats.merge} in lease order. *)

@@ -19,6 +19,23 @@ let stderr_of_mean acc =
 
 let of_array a = Array.fold_left add empty a
 
+(* Chan et al. pairwise combination: exact for the merged mean and M2 up to
+   rounding, independent of how the samples were sharded.  Merging in a
+   fixed order (Mc_par merges in lease order) keeps the result bit-stable
+   across worker counts. *)
+let merge a b =
+  if a.n = 0 then b
+  else if b.n = 0 then a
+  else begin
+    let fa = float_of_int a.n and fb = float_of_int b.n in
+    let n = a.n + b.n in
+    let fn = fa +. fb in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. fb /. fn) in
+    let m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. fn) in
+    { n; mean; m2 }
+  end
+
 let wilson_interval ?(z = 1.96) ~successes ~trials () =
   if trials <= 0 then invalid_arg "Stats.wilson_interval: trials";
   let n = float_of_int trials in
@@ -29,23 +46,53 @@ let wilson_interval ?(z = 1.96) ~successes ~trials () =
   let half = z /. denom *. sqrt ((p *. (1. -. p) /. n) +. (z2 /. (4. *. n *. n))) in
   (Float.max 0. (center -. half), Float.min 1. (center +. half))
 
-type histogram = { lo : float; hi : float; counts : int array; total : int }
+type histogram = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable total : int;
+  mutable outliers : int;
+}
+
+let histogram_empty ~bins ~lo ~hi =
+  if bins <= 0 || hi <= lo then invalid_arg "Stats.histogram";
+  { lo; hi; counts = Array.make bins 0; total = 0; outliers = 0 }
+
+(* Out-of-range samples used to be clamped into the edge bins, silently
+   inflating the edge densities; they now count as outliers instead.
+   [x = hi] stays in the last bin so a closed range is representable. *)
+let histogram_observe h x =
+  h.total <- h.total + 1;
+  if x < h.lo || x > h.hi then h.outliers <- h.outliers + 1
+  else begin
+    let bins = Array.length h.counts in
+    let i = int_of_float (float_of_int bins *. (x -. h.lo) /. (h.hi -. h.lo)) in
+    let i = if i < 0 then 0 else if i >= bins then bins - 1 else i in
+    h.counts.(i) <- h.counts.(i) + 1
+  end
 
 let histogram ~bins ~lo ~hi samples =
-  if bins <= 0 || hi <= lo then invalid_arg "Stats.histogram";
-  let counts = Array.make bins 0 in
-  Array.iter
-    (fun x ->
-      let i = int_of_float (float_of_int bins *. (x -. lo) /. (hi -. lo)) in
-      let i = if i < 0 then 0 else if i >= bins then bins - 1 else i in
-      counts.(i) <- counts.(i) + 1)
-    samples;
-  { lo; hi; counts; total = Array.length samples }
+  let h = histogram_empty ~bins ~lo ~hi in
+  Array.iter (histogram_observe h) samples;
+  h
+
+let histogram_merge a b =
+  if a.lo <> b.lo || a.hi <> b.hi || Array.length a.counts <> Array.length b.counts then
+    invalid_arg "Stats.histogram_merge: shapes differ";
+  {
+    lo = a.lo;
+    hi = a.hi;
+    counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i));
+    total = a.total + b.total;
+    outliers = a.outliers + b.outliers;
+  }
 
 let histogram_density h i =
   let bins = Array.length h.counts in
   let bin_width = (h.hi -. h.lo) /. float_of_int bins in
-  float_of_int h.counts.(i) /. (float_of_int h.total *. bin_width)
+  let in_range = h.total - h.outliers in
+  if in_range = 0 then 0.
+  else float_of_int h.counts.(i) /. (float_of_int in_range *. bin_width)
 
 let bin_center h i =
   let bins = Array.length h.counts in

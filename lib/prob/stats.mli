@@ -17,6 +17,12 @@ val stderr_of_mean : acc -> float
 
 val of_array : float array -> acc
 
+val merge : acc -> acc -> acc
+(** Combine two accumulators as if every sample had been fed to one (Chan
+    et al. parallel update).  Deterministic for a fixed merge order, which
+    is how [Mc_par] keeps parallel estimates independent of the worker
+    count. *)
+
 (** {1 Proportion confidence intervals} *)
 
 val wilson_interval : ?z:float -> successes:int -> trials:int -> unit -> float * float
@@ -25,13 +31,28 @@ val wilson_interval : ?z:float -> successes:int -> trials:int -> unit -> float *
 
 (** {1 Histogram} *)
 
-type histogram = { lo : float; hi : float; counts : int array; total : int }
+type histogram = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable total : int;  (** every observed sample, outliers included *)
+  mutable outliers : int;  (** samples outside [[lo, hi]]; not in any bin *)
+}
 
 val histogram : bins:int -> lo:float -> hi:float -> float array -> histogram
-(** Out-of-range samples are clipped into the edge bins. *)
+(** Samples outside [[lo, hi]] are counted in [outliers] rather than being
+    clipped into the edge bins ([x = hi] lands in the last bin). *)
+
+val histogram_empty : bins:int -> lo:float -> hi:float -> histogram
+val histogram_observe : histogram -> float -> unit
+
+val histogram_merge : histogram -> histogram -> histogram
+(** Bin-wise sum of two histograms with identical [lo]/[hi]/bin count.
+    @raise Invalid_argument when the shapes differ. *)
 
 val histogram_density : histogram -> int -> float
-(** Empirical density of bin [i] (normalized so the histogram integrates
-    to one). *)
+(** Empirical density of bin [i], normalized over the in-range samples
+    ([total - outliers]) so the bins integrate to one; [0.] when every
+    sample was an outlier. *)
 
 val bin_center : histogram -> int -> float

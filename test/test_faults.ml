@@ -314,6 +314,33 @@ let combinator_tests =
           (counter_value "ddm_faults_deadline_exceeded_total"));
       Alcotest.(check bool) "bad deadline rejected" true
         (raises_invalid (fun () -> Engine.retry_under ~deadline_s:0. flaky)));
+    Alcotest.test_case "retry_under re-raises fatal exceptions" `Quick (fun () ->
+      (* pre-fix, `with _ -> None` converted resource exhaustion into the
+         fallback probability: a protocol blowing the stack looked like a
+         healthy 0.5 decision *)
+      let v = { Dist_protocol.me = 0; own = 0.5; others = [] } in
+      let wrap exn = Engine.retry_under ~deadline_s:5. (Dist_protocol.make ~name:"fatal" (fun _ -> raise exn)) in
+      Alcotest.check_raises "Stack_overflow" Stack_overflow (fun () ->
+        ignore (Dist_protocol.decide (wrap Stack_overflow) v));
+      Alcotest.check_raises "Out_of_memory" Out_of_memory (fun () ->
+        ignore (Dist_protocol.decide (wrap Out_of_memory) v));
+      (match Dist_protocol.decide (wrap (Assert_failure ("p", 1, 2))) v with
+      | _ -> Alcotest.fail "expected Assert_failure to propagate"
+      | exception Assert_failure _ -> ());
+      (* non-fatal exceptions still retry into the default *)
+      Alcotest.(check (float 0.)) "Failure still retried to default" 0.5
+        (Dist_protocol.decide (wrap (Failure "transient")) v));
+    Alcotest.test_case "faulty MC estimates are worker-count independent" `Quick (fun () ->
+      let pattern = Comm_pattern.none ~n:3 in
+      let protocol = Dist_protocol.common_threshold ~n:3 0.62 in
+      let faults = Fault_model.make ~crash:0.1 ~crash_mode:(Fault_model.Default_bin 0) () in
+      let est j =
+        Fault_engine.win_probability_mc ~domains:j ~rng:(Rng.create ~seed:81) ~samples:20_000
+          ~faults ~delta:1. pattern protocol
+      in
+      let e1 = est 1 in
+      Alcotest.(check (float 0.)) "-j 2 bit-identical" e1.Mc.mean (est 2).Mc.mean;
+      Alcotest.(check (float 0.)) "-j 4 bit-identical" e1.Mc.mean (est 4).Mc.mean);
     Alcotest.test_case "parametric families validate the deciding player" `Quick (fun () ->
       let v1 = { Dist_protocol.me = 1; own = 0.5; others = [] } in
       Alcotest.(check bool) "oblivious short vector" true

@@ -293,6 +293,25 @@ let trace_tests =
         in
         Alcotest.(check bool) "names the span" true (contains rep "report_me");
         Alcotest.(check bool) "has the per-name profile" true (contains rep "profile by name")));
+    Alcotest.test_case "parallel MC folds worker spans into the main profile" `Quick (fun () ->
+      with_tracing (fun () ->
+        let rng = Rng.create ~seed:11 in
+        let est =
+          Mc.probability ~domains:2 ~leases:8 ~rng ~samples:1000 (fun rng ->
+            Rng.float01 rng < 0.5)
+        in
+        Alcotest.(check int) "all samples drawn" 1000 est.Mc.samples;
+        let rows = Trace.profile () in
+        let calls name =
+          match List.find_opt (fun r -> r.Trace.p_name = name) rows with
+          | Some r -> r.Trace.calls
+          | None -> 0
+        in
+        (* Worker-domain lease spans are drained before join and absorbed on
+           the main domain, so the profile sees every lease regardless of
+           which domain ran it. *)
+        Alcotest.(check int) "one lease span per lease" 8 (calls "mc.par.lease");
+        Alcotest.(check int) "top-level span on main" 1 (calls "mc.probability")));
   ]
 
 (* ------------------------------ exporters ------------------------------ *)
@@ -399,30 +418,36 @@ let read_file path =
 let integration_tests =
   [
     Alcotest.test_case "ddm eval --metrics json emits parseable JSON" `Quick (fun () ->
-      let out = "test_obs_eval_metrics.json" in
-      let cmd =
-        Printf.sprintf "%s eval -n 3 --samples 20000 --seed 7 --metrics json > %s 2> %s.err"
-          (Filename.quote ddm_exe) out out
-      in
-      Alcotest.(check int) "exit code" 0 (Sys.command cmd);
-      let lines =
-        read_file out |> String.split_on_char '\n'
-        |> List.filter (fun l -> String.length l > 0 && l.[0] = '{')
-      in
-      Alcotest.(check bool) "has metric lines" true (List.length lines > 3);
-      List.iter
-        (fun l -> Alcotest.(check bool) ("parses: " ^ l) true (json_valid l))
-        lines;
-      let mentions_samples =
-        List.exists
-          (fun l ->
-            let needle = "\"name\":\"ddm_mc_samples_total\"" in
-            let lh = String.length l and ln = String.length needle in
-            let rec go i = i + ln <= lh && (String.sub l i ln = needle || go (i + 1)) in
-            go 0)
-          lines
-      in
-      Alcotest.(check bool) "reports MC samples" true mentions_samples);
+      (* Temp files, not the working directory: runtest used to litter the
+         repo root with test_obs_eval_metrics.json(.err). *)
+      let out = Filename.temp_file "test_obs_eval_metrics" ".json" in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ out; out ^ ".err" ])
+        (fun () ->
+          let cmd =
+            Printf.sprintf "%s eval -n 3 --samples 20000 --seed 7 --metrics json > %s 2> %s.err"
+              (Filename.quote ddm_exe) (Filename.quote out) (Filename.quote out)
+          in
+          Alcotest.(check int) "exit code" 0 (Sys.command cmd);
+          let lines =
+            read_file out |> String.split_on_char '\n'
+            |> List.filter (fun l -> String.length l > 0 && l.[0] = '{')
+          in
+          Alcotest.(check bool) "has metric lines" true (List.length lines > 3);
+          List.iter
+            (fun l -> Alcotest.(check bool) ("parses: " ^ l) true (json_valid l))
+            lines;
+          let mentions_samples =
+            List.exists
+              (fun l ->
+                let needle = "\"name\":\"ddm_mc_samples_total\"" in
+                let lh = String.length l and ln = String.length needle in
+                let rec go i = i + ln <= lh && (String.sub l i ln = needle || go (i + 1)) in
+                go 0)
+              lines
+          in
+          Alcotest.(check bool) "reports MC samples" true mentions_samples));
     Alcotest.test_case "ddm rejects nonpositive sizes" `Quick (fun () ->
       let run args =
         Sys.command (Printf.sprintf "%s %s > /dev/null 2>&1" (Filename.quote ddm_exe) args)

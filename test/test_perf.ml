@@ -179,6 +179,7 @@ let report ?(version = 2) experiments =
     created_s = None;
     rev = None;
     seed = None;
+    jobs = None;
     total_wall_seconds = List.fold_left (fun a e -> a +. e.Baseline.wall_seconds) 0. experiments;
     experiments;
   }

@@ -267,11 +267,47 @@ let stats_tests =
       Alcotest.(check bool) "in [0,1]" true (lo >= 0. && hi <= 1.);
       let lo0, _ = Stats.wilson_interval ~successes:0 ~trials:50 () in
       Alcotest.(check (float 1e-12)) "at zero" 0. lo0);
-    Alcotest.test_case "histogram clipping and totals" `Quick (fun () ->
+    Alcotest.test_case "histogram outliers and totals" `Quick (fun () ->
+      (* -0.5 and 1.5 are out of range: counted in [outliers], not clamped
+         into the edge bins (the pre-fix behaviour inflated edge densities) *)
       let h = Stats.histogram ~bins:4 ~lo:0. ~hi:1. [| -0.5; 0.1; 0.3; 0.6; 0.9; 1.5 |] in
       Alcotest.(check int) "total" 6 h.Stats.total;
-      Alcotest.(check int) "clipped low" 2 h.Stats.counts.(0);
-      Alcotest.(check int) "clipped high" 2 h.Stats.counts.(3));
+      Alcotest.(check int) "outliers" 2 h.Stats.outliers;
+      Alcotest.(check int) "low bin holds only in-range samples" 1 h.Stats.counts.(0);
+      Alcotest.(check int) "high bin holds only in-range samples" 1 h.Stats.counts.(3);
+      (* density normalizes over the 4 in-range samples: each occupied bin
+         carries mass 1/4 over width 1/4 *)
+      Alcotest.(check (float 1e-12)) "density excludes outliers" 1. (Stats.histogram_density h 0);
+      let sum = ref 0. in
+      for i = 0 to 3 do
+        sum := !sum +. (Stats.histogram_density h i *. 0.25)
+      done;
+      Alcotest.(check (float 1e-12)) "densities integrate to one" 1. !sum;
+      (* x = hi is in range, in the last bin *)
+      let h2 = Stats.histogram ~bins:2 ~lo:0. ~hi:1. [| 1.0 |] in
+      Alcotest.(check int) "x = hi lands in the last bin" 1 h2.Stats.counts.(1);
+      Alcotest.(check int) "x = hi is not an outlier" 0 h2.Stats.outliers);
+    Alcotest.test_case "histogram merge sums bins and outliers" `Quick (fun () ->
+      let a = Stats.histogram ~bins:3 ~lo:0. ~hi:3. [| 0.5; 1.5; 7. |] in
+      let b = Stats.histogram ~bins:3 ~lo:0. ~hi:3. [| 1.7; 2.5; -1. |] in
+      let m = Stats.histogram_merge a b in
+      Alcotest.(check int) "total" 6 m.Stats.total;
+      Alcotest.(check int) "outliers" 2 m.Stats.outliers;
+      Alcotest.(check int) "bin 1" 2 m.Stats.counts.(1);
+      Alcotest.check_raises "shape mismatch"
+        (Invalid_argument "Stats.histogram_merge: shapes differ") (fun () ->
+          ignore (Stats.histogram_merge a (Stats.histogram ~bins:2 ~lo:0. ~hi:3. [||]))));
+    Alcotest.test_case "merge matches feeding one accumulator" `Quick (fun () ->
+      let data = Array.init 101 (fun i -> sin (float_of_int i)) in
+      let whole = Stats.of_array data in
+      let left = Stats.of_array (Array.sub data 0 40) in
+      let right = Stats.of_array (Array.sub data 40 61) in
+      let merged = Stats.merge left right in
+      Alcotest.(check int) "count" (Stats.count whole) (Stats.count merged);
+      Alcotest.(check (float 1e-12)) "mean" (Stats.mean whole) (Stats.mean merged);
+      Alcotest.(check (float 1e-12)) "variance" (Stats.variance whole) (Stats.variance merged);
+      Alcotest.(check int) "empty is identity" 7
+        (Stats.count (Stats.merge Stats.empty (Stats.merge (Stats.of_array (Array.make 7 1.)) Stats.empty))));
     Alcotest.test_case "mc probability of certainty" `Quick (fun () ->
       let rng = Rng.create ~seed:1 in
       let est = Mc.probability ~rng ~samples:1000 (fun _ -> true) in
@@ -283,6 +319,111 @@ let stats_tests =
       Alcotest.(check bool) "mean near 1/2" true (Mc.agrees est 0.5));
   ]
 
+(* ------------------------- Mc_par ------------------------- *)
+
+(* The determinism contract under test: for a fixed (seed, leases, samples)
+   the estimate must not depend on how many domains executed the leases. *)
+let mc_par_tests =
+  let bernoulli_03 rng = Rng.float01 rng < 0.3 in
+  [
+    Alcotest.test_case "estimates are bit-identical across -j 1/2/4" `Quick (fun () ->
+      let prob j =
+        Mc.probability ~domains:j ~rng:(Rng.create ~seed:99) ~samples:30_000 bernoulli_03
+      in
+      let expect j =
+        Mc.expectation ~domains:j ~rng:(Rng.create ~seed:99) ~samples:30_000 Rng.float01
+      in
+      let p1 = prob 1 and e1 = expect 1 in
+      List.iter
+        (fun j ->
+          Alcotest.(check (float 0.)) (Printf.sprintf "probability j=%d" j) p1.Mc.mean
+            (prob j).Mc.mean;
+          let ej = expect j in
+          Alcotest.(check (float 0.)) (Printf.sprintf "expectation mean j=%d" j) e1.Mc.mean
+            ej.Mc.mean;
+          Alcotest.(check (float 0.)) (Printf.sprintf "expectation stderr j=%d" j) e1.Mc.stderr
+            ej.Mc.stderr)
+        [ 2; 4 ];
+      Alcotest.(check bool) "estimate is sane" true (Mc.agrees p1 0.3));
+    Alcotest.test_case "worker-count invariance holds for any lease count" `Quick (fun () ->
+      List.iter
+        (fun leases ->
+          let prob j =
+            Mc.probability ~domains:j ~leases ~rng:(Rng.create ~seed:5) ~samples:10_000
+              bernoulli_03
+          in
+          let p1 = prob 1 in
+          Alcotest.(check (float 0.)) (Printf.sprintf "leases=%d" leases) p1.Mc.mean
+            (prob 3).Mc.mean;
+          Alcotest.(check bool)
+            (Printf.sprintf "leases=%d agrees with p" leases)
+            true (Mc.agrees p1 0.3))
+        [ 1; 7; 64; 200 ]);
+    Alcotest.test_case "merged metrics equal the sequential totals" `Quick (fun () ->
+      let was = Metrics.enabled () in
+      Fun.protect
+        ~finally:(fun () -> Metrics.set_enabled was)
+        (fun () ->
+          Metrics.set_enabled true;
+          let read name =
+            match Metrics.find name with
+            | Some { Metrics.value = Metrics.Counter_v v; _ } -> v
+            | _ -> Alcotest.fail (name ^ " not registered")
+          in
+          Metrics.reset ();
+          let est =
+            Mc.probability ~domains:3 ~rng:(Rng.create ~seed:11) ~samples:10_000 bernoulli_03
+          in
+          let par_samples = read "ddm_mc_samples_total" in
+          let par_wins = read "ddm_mc_wins_total" in
+          Metrics.reset ();
+          ignore (Mc.probability ~rng:(Rng.create ~seed:11) ~samples:10_000 bernoulli_03);
+          Alcotest.(check int) "samples total" (read "ddm_mc_samples_total") par_samples;
+          Alcotest.(check int) "wins consistent with the estimate"
+            (int_of_float (Float.round (est.Mc.mean *. 10_000.)))
+            par_wins));
+    Alcotest.test_case "zero samples and one domain edge cases" `Quick (fun () ->
+      (* an empty parallel fold is just the init value *)
+      let zero =
+        Mc_par.fold ~domains:4 ~rng:(Rng.create ~seed:1) ~samples:0
+          ~init:(fun () -> 0)
+          ~step:(fun acc _ -> acc + 1)
+          ~merge:( + ) ()
+      in
+      Alcotest.(check int) "samples:0 folds to init" 0 zero;
+      (* fewer samples than leases: only some leases draw at all *)
+      let tiny =
+        Mc.probability ~domains:4 ~rng:(Rng.create ~seed:2) ~samples:3 (fun _ -> true)
+      in
+      Alcotest.(check (float 0.)) "samples < leases" 1. tiny.Mc.mean;
+      Alcotest.(check int) "sample count preserved" 3 tiny.Mc.samples;
+      (* more domains than leases: surplus workers exit without work *)
+      let wide =
+        Mc.probability ~domains:8 ~leases:2 ~rng:(Rng.create ~seed:3) ~samples:100 (fun _ -> true)
+      in
+      Alcotest.(check (float 0.)) "domains > leases" 1. wide.Mc.mean;
+      Alcotest.check_raises "domains:0 rejected"
+        (Invalid_argument "Mc_par.fold: domains must be >= 1") (fun () ->
+          ignore
+            (Mc.probability ~domains:0 ~rng:(Rng.create ~seed:4) ~samples:10 (fun _ -> true)));
+      Alcotest.check_raises "leases:0 rejected"
+        (Invalid_argument "Mc_par.fold: leases must be >= 1") (fun () ->
+          ignore
+            (Mc.probability ~domains:1 ~leases:0 ~rng:(Rng.create ~seed:4) ~samples:10
+               (fun _ -> true)));
+      Alcotest.check_raises "samples:0 still rejected at the Mc level"
+        (Invalid_argument "Mc.probability: samples") (fun () ->
+          ignore
+            (Mc.probability ~domains:1 ~rng:(Rng.create ~seed:4) ~samples:0 (fun _ -> true))));
+    Alcotest.test_case "worker exceptions propagate after the join" `Quick (fun () ->
+      Alcotest.check_raises "step exception surfaces" (Failure "boom") (fun () ->
+        ignore
+          (Mc_par.fold ~domains:3 ~rng:(Rng.create ~seed:6) ~samples:1_000
+             ~init:(fun () -> 0)
+             ~step:(fun _ _ -> failwith "boom")
+             ~merge:( + ) ())));
+  ]
+
 let () =
   Alcotest.run "prob"
     [
@@ -290,4 +431,5 @@ let () =
       ("uniform-sum", uniform_sum_tests);
       ("uniform-sum-prop", uniform_sum_props);
       ("stats-mc", stats_tests);
+      ("mc-par", mc_par_tests);
     ]
