@@ -96,6 +96,46 @@ let ledger_arg =
            revision, monotonic wall time, GC allocation stats, metrics snapshot) to $(docv). \
            Implies instrumentation.")
 
+let obs_listen_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "obs-listen" ] ~docv:"PORT"
+        ~doc:
+          "Serve the live observability plane on 127.0.0.1:$(docv) for the duration of the run: \
+           GET /metrics (Prometheus text exposition of the live counters), /healthz, /runs \
+           (ledger tail as JSON), /snapshot (metrics + span profile + history as JSON). \
+           $(docv) 0 picks an ephemeral port (printed on stderr). Implies instrumentation.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable span tracing and write a Chrome trace-event JSON file to $(docv) after the \
+           run: one track per domain, GC allocation deltas as event args, sampled counters as \
+           counter tracks. Load it at https://ui.perfetto.dev or chrome://tracing.")
+
+let log_arg =
+  Arg.(
+    value
+    & opt
+        (some (enum [ ("debug", Logx.Debug); ("info", Logx.Info); ("warn", Logx.Warn); ("error", Logx.Error) ]))
+        None
+    & info [ "log" ] ~docv:"LEVEL"
+        ~doc:
+          "Emit structured key=value log records at $(docv) ($(b,debug), $(b,info), $(b,warn), \
+           $(b,error)) and above to stderr. Off by default (and allocation-free when off).")
+
+let log_json_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "log-json" ]
+        ~doc:"Render log records as JSON lines instead of the human format (implies --log info \
+              unless --log is given).")
+
 (* A gated subcommand (perf check) wants a non-zero exit without skipping
    the --metrics/--trace/--ledger epilogues, so it parks the code here and
    the wrapper exits last. *)
@@ -117,25 +157,66 @@ let seed_of_argv () =
   in
   scan argv
 
-(* Every subcommand is wrapped so --metrics/--trace/--ledger work
-   uniformly: enable the switches, run, then append the requested reports
-   to stdout and the ledger record to its file. *)
-let with_obs metrics trace ledger run =
-  if Option.is_some metrics || Option.is_some ledger then Metrics.set_enabled true;
-  if trace then Trace.set_enabled true;
-  (match ledger with
-  | None -> run ()
-  | Some file ->
-    let command = if Array.length Sys.argv > 1 then Sys.argv.(1) else "ddm" in
-    let argv = List.tl (Array.to_list Sys.argv) in
-    Ledger.recording ~file ~command ~argv ?seed:(seed_of_argv ()) run);
+(* Every subcommand is wrapped so the observability switches work
+   uniformly: enable them, optionally start the live HTTP plane and the
+   metrics sampler, run, then write the requested reports/exports and shut
+   the plane down.  The Chrome trace and the server teardown run even when
+   the subcommand raises, so a crashed run still leaves its trace file. *)
+let with_obs metrics trace ledger obs_listen trace_out log_level log_json run =
+  if
+    Option.is_some metrics || Option.is_some ledger || Option.is_some obs_listen
+    || Option.is_some trace_out
+  then Metrics.set_enabled true;
+  if trace || Option.is_some trace_out then Trace.set_enabled true;
+  (match (log_level, log_json) with
+  | (Some _ as l), _ -> Logx.set_level l
+  | None, true -> Logx.set_level (Some Logx.Info)
+  | None, false -> ());
+  if log_json then Logx.set_format Logx.Json;
+  let command = if Array.length Sys.argv > 1 then Sys.argv.(1) else "ddm" in
+  let server =
+    match obs_listen with
+    | None -> None
+    | Some port -> (
+      match Httpd.start ?ledger_file:ledger ~port () with
+      | Ok s ->
+        Printf.eprintf "obs: listening on http://127.0.0.1:%d\n%!" (Httpd.port s);
+        Some s
+      | Error msg ->
+        Printf.eprintf "ddm: cannot listen on 127.0.0.1:%d: %s\n%!" port msg;
+        exit 2)
+  in
+  if Option.is_some server || Option.is_some trace_out then Snapring.start ();
+  if Logx.would_log Logx.Info then
+    Logx.info "ddm.start"
+      [ ("command", Logx.Str command);
+        ("argv", Logx.Str (String.concat " " (List.tl (Array.to_list Sys.argv)))) ];
+  Fun.protect
+    ~finally:(fun () ->
+      if Snapring.running () then Snapring.stop ();
+      (match trace_out with
+      | Some file ->
+        Chrome_trace.write ~file ~counters:(Snapring.samples ()) (Trace.spans ());
+        Printf.eprintf "obs: wrote Chrome trace to %s\n%!" file
+      | None -> ());
+      Option.iter Httpd.stop server)
+    (fun () ->
+      match ledger with
+      | None -> run ()
+      | Some file ->
+        let argv = List.tl (Array.to_list Sys.argv) in
+        Ledger.recording ~file ~command ~argv ?seed:(seed_of_argv ()) run);
+  if Logx.would_log Logx.Info then Logx.info "ddm.done" [ ("command", Logx.Str command) ];
   if trace then print_string (Trace.report ());
   (match metrics with
   | Some fmt -> print_string (Export.render fmt (Metrics.snapshot ()))
   | None -> ());
   if !exit_code <> 0 then exit !exit_code
 
-let obs_term run_term = Term.(const with_obs $ metrics_arg $ trace_arg $ ledger_arg $ run_term)
+let obs_term run_term =
+  Term.(
+    const with_obs $ metrics_arg $ trace_arg $ ledger_arg $ obs_listen_arg $ trace_out_arg
+    $ log_arg $ log_json_arg $ run_term)
 
 (* ------------------------- oblivious ------------------------- *)
 
@@ -899,6 +980,74 @@ let tradeoff_cmd =
     (Cmd.info "tradeoff" ~doc:"Oblivious vs single-threshold optimum across system sizes.")
     (obs_term Term.(const run $ max_n_arg))
 
+(* ------------------------- obs ------------------------- *)
+
+let obs_serve_cmd =
+  let run port ledger duration =
+    Metrics.set_enabled true;
+    Trace.set_enabled true;
+    match Httpd.start ?ledger_file:ledger ~port () with
+    | Error msg ->
+      Printf.eprintf "ddm obs serve: cannot listen on 127.0.0.1:%d: %s\n%!" port msg;
+      exit 2
+    | Ok server ->
+      Snapring.start ();
+      let stop = Atomic.make false in
+      let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+      (try Sys.set_signal Sys.sigint handler with Invalid_argument _ | Sys_error _ -> ());
+      (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ | Sys_error _ -> ());
+      Printf.printf "obs: serving http://127.0.0.1:%d (/healthz /metrics /runs /snapshot)%s\n%!"
+        (Httpd.port server)
+        (match duration with
+        | Some d -> Printf.sprintf ", stopping after %gs" d
+        | None -> "; Ctrl-C to stop");
+      if Logx.would_log Logx.Info then
+        Logx.info "obs.serve" [ ("port", Logx.Int (Httpd.port server)) ];
+      let t0 = Unix.gettimeofday () in
+      let expired () =
+        match duration with Some d -> Unix.gettimeofday () -. t0 >= d | None -> false
+      in
+      while (not (Atomic.get stop)) && not (expired ()) do
+        try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      Snapring.stop ();
+      Httpd.stop server;
+      Printf.printf "obs: stopped\n%!"
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:"TCP port to bind on 127.0.0.1; 0 (the default) picks an ephemeral port.")
+  in
+  let serve_ledger_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE" ~doc:"JSONL run ledger backing the /runs endpoint.")
+  in
+  let duration_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "duration" ] ~docv:"SECS"
+          ~doc:"Stop after $(docv) seconds (default: run until SIGINT/SIGTERM).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the observability HTTP endpoint standalone (own process, no computation): \
+          /healthz, /metrics, /runs, /snapshot on 127.0.0.1.")
+    Term.(const run $ port_arg $ serve_ledger_arg $ duration_arg)
+
+let obs_cmd =
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:
+         "Live observability plane. Every subcommand also takes --obs-listen PORT to serve \
+          these endpoints during a run; $(b,ddm obs serve) runs them standalone.")
+    [ obs_serve_cmd ]
+
 let () =
   let info =
     Cmd.info "ddm" ~version:"1.0.0"
@@ -911,5 +1060,5 @@ let () =
        (Cmd.group info
           [
             oblivious_cmd; threshold_cmd; certify_cmd; curve_cmd; eval_cmd; banded_cmd;
-            simulate_cmd; chaos_cmd; tradeoff_cmd; perf_cmd;
+            simulate_cmd; chaos_cmd; tradeoff_cmd; perf_cmd; obs_cmd;
           ]))

@@ -46,8 +46,15 @@ let retry_under ~deadline_s ?(attempts = 3) ?(default = 0.5) protocol =
         | Some p when Float.is_finite p -> p
         | _ ->
           Metrics.incr retries;
+          if Logx.would_log Logx.Debug then
+            Logx.debug "engine.retry"
+              [ ("protocol", Logx.Str (Dist_protocol.name protocol)); ("attempt", Logx.Int (k + 1)) ];
           if k + 1 >= attempts || Trace.now_mono_s () -. start >= deadline_s then begin
             Metrics.incr deadline_exceeded;
+            if Logx.would_log Logx.Warn then
+              Logx.warn "engine.retry_deadline"
+                [ ("protocol", Logx.Str (Dist_protocol.name protocol));
+                  ("attempts", Logx.Int (k + 1)); ("default", Logx.Float default) ];
             default
           end
           else go (k + 1)
@@ -142,6 +149,10 @@ let win_probability_grid ?(points = 64) ~delta pattern protocol =
          points n cells);
   Trace.with_span "engine.grid" @@ fun () ->
   Metrics.add grid_cells (int_of_float cells);
+  if Logx.would_log Logx.Info then
+    Logx.info "engine.grid"
+      [ ("protocol", Logx.Str (Dist_protocol.name protocol)); ("n", Logx.Int n);
+        ("points", Logx.Int points); ("cells", Logx.Float cells) ];
   let inputs = Array.make n 0. in
   let acc = ref 0. in
   let rec loop dim =

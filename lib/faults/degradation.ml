@@ -38,6 +38,10 @@ let sweep ?(grid_points = 64) ?domains ?leases ~rng ~samples ~rates ~model_of ~d
       (fun rate ->
         let faults = model_of rate in
         Fault_model.validate faults;
+        if Logx.would_log Logx.Info then
+          Logx.info "faults.sweep_point"
+            [ ("protocol", Logx.Str (Dist_protocol.name protocol)); ("rate", Logx.Float rate);
+              ("samples", Logx.Int samples) ];
         let estimate =
           Fault_engine.win_probability_mc ?domains ?leases ~rng:(Rng.split rng) ~samples ~faults
             ~delta pattern protocol

@@ -155,6 +155,10 @@ let run_once ?(sampler = Rng.float01) rng ~faults:(m : Fault_model.t) ~delta pat
 let win_probability_mc ?sampler ?domains ?leases ~rng ~samples ~faults ~delta pattern protocol =
   Fault_model.validate faults;
   Trace.with_span "faults.mc" @@ fun () ->
+  if Logx.would_log Logx.Debug then
+    Logx.debug "faults.mc"
+      [ ("protocol", Logx.Str (Dist_protocol.name protocol));
+        ("faults", Logx.Str (Fault_model.to_string faults)); ("samples", Logx.Int samples) ];
   Mc.probability ?domains ?leases ~rng ~samples (fun rng ->
     (run_once ?sampler rng ~faults ~delta pattern protocol).win)
 
@@ -228,6 +232,10 @@ let win_probability_grid ?(points = 64) ~faults ~delta pattern protocol =
           cells > 1e8)"
          points n cells);
   Trace.with_span "faults.grid" @@ fun () ->
+  if Logx.would_log Logx.Info then
+    Logx.info "faults.grid"
+      [ ("protocol", Logx.Str (Dist_protocol.name protocol)); ("n", Logx.Int n);
+        ("points", Logx.Int points); ("cells", Logx.Float cells) ];
   let inputs = Array.make n 0. in
   let acc = ref 0. in
   let rec loop dim =

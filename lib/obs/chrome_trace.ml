@@ -1,0 +1,81 @@
+(* Chrome trace-event JSON export (the format Perfetto and chrome://tracing
+   load).  Each recorded span becomes a ph:"X" complete event on the track
+   of the domain it ran on (tid = Domain.self at record time), with the
+   span's GC allocation delta attached as args.  A thread_name metadata
+   event labels every track, and the optional Snapring history becomes
+   ph:"C" counter events so counter evolution lines up with the spans.
+
+   Timestamps: the trace-event clock is microseconds from an arbitrary
+   origin; we rebase on the earliest span start (or counter sample) so
+   traces start at ts=0 regardless of wall-clock epoch. *)
+
+let add_event buf ~first ~ph ~name ~tid ~ts_us extra =
+  if not first then Buffer.add_string buf ",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%.3f" (Jsonx.escape name)
+       ph tid ts_us);
+  Buffer.add_string buf extra;
+  Buffer.add_char buf '}'
+
+let span_args (s : Trace.span) =
+  Printf.sprintf
+    ",\"cat\":\"span\",\"dur\":%.3f,\"args\":{\"depth\":%d,\"minor_words\":%.0f,\"major_words\":%.0f,\"minor_collections\":%d,\"major_collections\":%d}"
+    (s.Trace.dur_s *. 1e6) s.Trace.depth s.Trace.minor_words s.Trace.major_words
+    s.Trace.minor_collections s.Trace.major_collections
+
+let json ?(counters = []) spans =
+  let t0 =
+    List.fold_left
+      (fun acc (s : Trace.span) -> Float.min acc s.Trace.start_s)
+      (List.fold_left (fun acc (c : Snapring.sample) -> Float.min acc c.Snapring.t_s) infinity counters)
+      spans
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0. in
+  let ts_of wall_s = (wall_s -. t0) *. 1e6 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  let first = ref true in
+  let emit ~ph ~name ~tid ~ts_us extra =
+    add_event buf ~first:!first ~ph ~name ~tid ~ts_us extra;
+    first := false
+  in
+  (* one thread_name metadata event per distinct tid, so Perfetto labels
+     the tracks "domain N" instead of bare numbers *)
+  let tids =
+    List.sort_uniq compare (List.map (fun (s : Trace.span) -> s.Trace.tid) spans)
+  in
+  List.iter
+    (fun tid ->
+      emit ~ph:"M" ~name:"thread_name" ~tid ~ts_us:0.
+        (Printf.sprintf ",\"args\":{\"name\":\"domain %d\"}" tid))
+    tids;
+  List.iter
+    (fun (s : Trace.span) ->
+      emit ~ph:"X" ~name:s.Trace.name ~tid:s.Trace.tid ~ts_us:(ts_of s.Trace.start_s) (span_args s))
+    spans;
+  (* counter tracks: one ph:"C" event per sampled counter value; constant
+     zeros are skipped to keep the track list readable *)
+  let nonzero_counters =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (c : Snapring.sample) ->
+           List.filter_map (fun (k, v) -> if v <> 0 then Some k else None) c.Snapring.counters)
+         counters)
+  in
+  List.iter
+    (fun (c : Snapring.sample) ->
+      List.iter
+        (fun (k, v) ->
+          if List.mem k nonzero_counters then
+            emit ~ph:"C" ~name:k ~tid:0 ~ts_us:(ts_of c.Snapring.t_s)
+              (Printf.sprintf ",\"args\":{\"value\":%d}" v))
+        c.Snapring.counters)
+    counters;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write ~file ?counters spans =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (json ?counters spans))

@@ -129,10 +129,39 @@ let json_of_samples samples =
 let prom_escape_help s =
   String.concat "\\n" (String.split_on_char '\n' (String.concat "\\\\" (String.split_on_char '\\' s)))
 
+(* Exposition-format conformance: metric names must match
+   [a-zA-Z_:][a-zA-Z0-9_:]*.  Registered names are chosen by this repo and
+   already conform, but the exporter is a pure function over arbitrary
+   samples, so sanitize rather than trust: every invalid byte becomes '_'
+   (a leading digit too, since the first-character class excludes digits),
+   and an empty name becomes "_". *)
+let prom_name s =
+  let ok_first c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':' in
+  let ok c = ok_first c || (c >= '0' && c <= '9') in
+  if s = "" then "_"
+  else if String.length s > 0 && ok_first s.[0] && String.for_all ok s then s
+  else
+    String.mapi (fun i c -> if (if i = 0 then ok_first c else ok c) then c else '_') s
+
+(* Label values may contain any character, but backslash, double-quote and
+   newline must be backslash-escaped. *)
+let prom_escape_label s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let to_prometheus samples =
   let buf = Buffer.create 512 in
   List.iter
     (fun { Metrics.name; help; value } ->
+      let name = prom_name name in
       if help <> "" then
         Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (prom_escape_help help));
       match value with
@@ -146,11 +175,16 @@ let to_prometheus samples =
         Array.iteri
           (fun i c ->
             let le = if i < Array.length bounds then num bounds.(i) else "+Inf" in
-            Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name le c))
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (prom_escape_label le) c))
           cum;
         Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" name (num sum));
         Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name count))
     samples;
+  (* the exposition format is line-oriented: the output must end with a
+     line feed, even when there are no samples at all *)
+  if Buffer.length buf = 0 || Buffer.nth buf (Buffer.length buf - 1) <> '\n' then
+    Buffer.add_char buf '\n';
   Buffer.contents buf
 
 let render = function Table -> to_table | Json -> to_json_lines | Prometheus -> to_prometheus

@@ -24,7 +24,20 @@ val to_json_lines : Metrics.sample list -> string
     bucket, mirroring the Prometheus exposition. *)
 
 val to_prometheus : Metrics.sample list -> string
-(** Prometheus text exposition format (version 0.0.4). *)
+(** Prometheus text exposition format (version 0.0.4).  Metric names are
+    sanitized with {!prom_name}, label values escaped with
+    {!prom_escape_label}, and the output always ends with a newline (the
+    format is line-oriented), even for an empty sample list. *)
+
+val prom_name : string -> string
+(** Sanitize a metric name to the exposition-format class
+    [[a-zA-Z_:][a-zA-Z0-9_:]*]: invalid bytes (including a leading digit)
+    become ['_']; the empty string becomes ["_"]. *)
+
+val prom_escape_label : string -> string
+(** Escape a label value: backslash, double-quote and newline become the
+    two-character sequences backslash-backslash, backslash-quote and
+    backslash-n. *)
 
 val json_of_samples : Metrics.sample list -> string
 (** A single JSON object grouping the snapshot by kind:

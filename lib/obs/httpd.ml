@@ -1,0 +1,275 @@
+(* A deliberately small HTTP/1.1 server (Unix module only, no external web
+   stack) exposing the live observability plane:
+
+     GET /          index of endpoints
+     GET /healthz   liveness probe
+     GET /metrics   Prometheus text exposition, rendered from the live
+                    atomic counters mid-run
+     GET /runs      tail of the JSONL run ledger (?n=K, default 20)
+     GET /snapshot  full JSON snapshot: metrics, cross-domain span profile,
+                    recent counter history (Snapring)
+
+   One accept loop on a dedicated domain; requests are handled serially
+   (scrapes are small and the render is cheap), each connection closed
+   after one response.  The loop polls a stop flag via a select timeout so
+   [stop] returns within ~a quarter second. *)
+
+type response = { status : int; content_type : string; body : string }
+
+type server = {
+  fd : Unix.file_descr;
+  actual_port : int;
+  started_s : float;
+  stop_flag : bool Atomic.t;
+  mutable dom : unit Domain.t option;
+}
+
+let requests =
+  Metrics.counter ~help:"HTTP requests served by the obs endpoint" "ddm_obs_http_requests_total"
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | _ -> "Internal Server Error"
+
+let text ?(status = 200) body = { status; content_type = "text/plain; charset=utf-8"; body }
+let json ?(status = 200) body = { status; content_type = "application/json"; body }
+
+(* ------------------------------ routes ------------------------------ *)
+
+let index_body =
+  "ddm observability endpoint\n\
+   GET /healthz   liveness\n\
+   GET /metrics   Prometheus text exposition (live)\n\
+   GET /runs      run-ledger tail as JSON (?n=K)\n\
+   GET /snapshot  metrics + span profile + recent history as JSON\n"
+
+let profile_json () =
+  Jsonx.Arr
+    (List.map
+       (fun (r : Trace.profile_row) ->
+         Jsonx.Obj
+           [
+             ("name", Jsonx.Str r.Trace.p_name);
+             ("calls", Jsonx.Num (float_of_int r.Trace.calls));
+             ("total_s", Jsonx.Num r.Trace.total_s);
+             ("minor_words", Jsonx.Num r.Trace.p_minor_words);
+             ("major_words", Jsonx.Num r.Trace.p_major_words);
+             ("gc_collections",
+              Jsonx.Num (float_of_int (r.Trace.p_minor_collections + r.Trace.p_major_collections)));
+           ])
+       (Trace.profile_of (Trace.live_spans ())))
+
+let history_json () =
+  Jsonx.Arr
+    (List.map
+       (fun (s : Snapring.sample) ->
+         Jsonx.Obj
+           [
+             ("t_s", Jsonx.Num s.Snapring.t_s);
+             ("counters",
+              Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Num (float_of_int v))) s.Snapring.counters));
+             ("gauges", Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Num v)) s.Snapring.gauges));
+           ])
+       (Snapring.samples ()))
+
+let snapshot_body ~started_s () =
+  let now = Unix.gettimeofday () in
+  let metrics =
+    match Jsonx.parse (Export.json_of_samples (Metrics.snapshot ())) with
+    | Ok j -> j
+    | Error _ -> Jsonx.Null
+  in
+  Jsonx.to_string
+    (Jsonx.Obj
+       [
+         ("schema", Jsonx.Str "ddm.snapshot/v1");
+         ("t_s", Jsonx.Num now);
+         ("uptime_s", Jsonx.Num (now -. started_s));
+         ("metrics", metrics);
+         ("profile", profile_json ());
+         ("history", history_json ());
+       ])
+
+let runs_body ~ledger_file n =
+  match ledger_file with
+  | None ->
+    Jsonx.to_string
+      (Jsonx.Obj
+         [ ("schema", Jsonx.Str "ddm.runs/v1"); ("file", Jsonx.Null); ("skipped", Jsonx.Num 0.);
+           ("entries", Jsonx.Arr []) ])
+  | Some file ->
+    let entries, skipped = Ledger.load ~file in
+    let total = List.length entries in
+    let tail = if total > n then List.filteri (fun i _ -> i >= total - n) entries else entries in
+    Jsonx.to_string
+      (Jsonx.Obj
+         [
+           ("schema", Jsonx.Str "ddm.runs/v1");
+           ("file", Jsonx.Str file);
+           ("total", Jsonx.Num (float_of_int total));
+           ("skipped", Jsonx.Num (float_of_int skipped));
+           ("entries", Jsonx.Arr (List.map Ledger.to_json tail));
+         ])
+
+let query_int q key ~default =
+  match List.assoc_opt key q with
+  | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let route ~ledger_file ~started_s meth path query =
+  match (meth, path) with
+  | ("GET" | "HEAD"), "/" -> text index_body
+  | ("GET" | "HEAD"), "/healthz" -> text "ok\n"
+  | ("GET" | "HEAD"), "/metrics" ->
+    {
+      status = 200;
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+      body = Export.to_prometheus (Metrics.snapshot ());
+    }
+  | ("GET" | "HEAD"), "/runs" -> json (runs_body ~ledger_file (query_int query "n" ~default:20))
+  | ("GET" | "HEAD"), "/snapshot" -> json (snapshot_body ~started_s ())
+  | ("GET" | "HEAD"), _ -> text ~status:404 "not found\n"
+  | _ -> text ~status:405 "method not allowed (GET only)\n"
+
+(* --------------------------- request parsing --------------------------- *)
+
+let max_request_bytes = 8192
+
+(* Read until the blank line ending the header block (we never accept
+   bodies), a cap, or EOF; returns the raw request text. *)
+let read_request fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > max_request_bytes then Buffer.contents buf
+    else
+      let headers_done =
+        let s = Buffer.contents buf in
+        let rec find i =
+          i + 3 < String.length s
+          && ((s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n') || find (i + 1))
+        in
+        find 0
+      in
+      if headers_done then Buffer.contents buf
+      else
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Buffer.contents buf
+        | k ->
+          Buffer.add_subbytes buf chunk 0 k;
+          go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          Buffer.contents buf
+  in
+  go ()
+
+let parse_query s =
+  String.split_on_char '&' s
+  |> List.filter_map (fun kv ->
+         match String.index_opt kv '=' with
+         | Some i -> Some (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1))
+         | None -> if kv = "" then None else Some (kv, ""))
+
+let parse_request_line raw =
+  match String.index_opt raw '\n' with
+  | None -> None
+  | Some eol -> (
+    let line = String.trim (String.sub raw 0 eol) in
+    match String.split_on_char ' ' line with
+    | meth :: target :: _ -> (
+      match String.index_opt target '?' with
+      | None -> Some (meth, target, [])
+      | Some i ->
+        Some
+          ( meth,
+            String.sub target 0 i,
+            parse_query (String.sub target (i + 1) (String.length target - i - 1)) ))
+    | _ -> None)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      match Unix.write fd b off (Bytes.length b - off) with
+      | 0 -> ()
+      | k -> go (off + k)
+  in
+  go 0
+
+let respond fd ~head_only { status; content_type; body } =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      status (status_text status) content_type (String.length body)
+  in
+  write_all fd (if head_only then head else head ^ body)
+
+let handle_connection ~ledger_file ~started_s client =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* a stuck or hostile client must not wedge the accept loop *)
+      Unix.setsockopt_float client Unix.SO_RCVTIMEO 2.0;
+      Unix.setsockopt_float client Unix.SO_SNDTIMEO 2.0;
+      let raw = read_request client in
+      Metrics.incr requests;
+      match parse_request_line raw with
+      | None -> respond client ~head_only:false (text ~status:400 "bad request\n")
+      | Some (meth, path, query) ->
+        respond client ~head_only:(meth = "HEAD") (route ~ledger_file ~started_s meth path query))
+
+(* ------------------------------ lifecycle ------------------------------ *)
+
+let serve ~ledger_file server =
+  while not (Atomic.get server.stop_flag) do
+    match Unix.select [ server.fd ] [] [] 0.25 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept server.fd with
+      | client, _ -> (
+        try handle_connection ~ledger_file ~started_s:server.started_s client
+        with Unix.Unix_error _ | Sys_error _ -> ())
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let start ?(host = "127.0.0.1") ?ledger_file ~port () =
+  if port < 0 || port > 65535 then invalid_arg "Httpd.start: port must be in [0, 65535]";
+  (* writes to a client that hung up must surface as EPIPE, not kill the
+     process; harmless to set more than once *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> raise (Invalid_argument (Printf.sprintf "Httpd.start: bad host %S" host))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    Unix.listen fd 16
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Unix.error_message e)
+  | () ->
+    let actual_port =
+      match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+    in
+    let server =
+      { fd; actual_port; started_s = Unix.gettimeofday (); stop_flag = Atomic.make false; dom = None }
+    in
+    server.dom <- Some (Domain.spawn (fun () -> serve ~ledger_file server));
+    Ok server
+
+let port server = server.actual_port
+
+let stop server =
+  if not (Atomic.get server.stop_flag) then begin
+    Atomic.set server.stop_flag true;
+    Option.iter Domain.join server.dom;
+    server.dom <- None;
+    try Unix.close server.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,49 @@
+(** Minimal HTTP/1.1 server for the live observability plane.
+
+    Built on the [unix] library alone — no web framework.  {!start} binds a
+    loopback (by default) TCP socket and spawns one dedicated domain running
+    the accept loop; requests are answered serially and every connection is
+    closed after a single response ([Connection: close]).  Intended for
+    scrapes and spot-checks of a running computation, not as a
+    general-purpose server.
+
+    Routes (GET and HEAD only):
+    - [/]          plain-text index of endpoints
+    - [/healthz]   liveness probe, body ["ok\n"]
+    - [/metrics]   Prometheus text exposition rendered from the live
+                   metrics registry ({!Export.to_prometheus}), so
+                   mid-run scrapes observe the atomic counters as the
+                   worker domains increment them
+    - [/runs]      tail of the JSONL run ledger as JSON
+                   ([ddm.runs/v1]; [?n=K] selects the tail length,
+                   default 20; absent ledger renders empty)
+    - [/snapshot]  one JSON document ([ddm.snapshot/v1]) with the full
+                   metrics snapshot, the cross-domain span profile
+                   ({!Trace.live_spans}), and the recent counter history
+                   ({!Snapring.samples})
+
+    Unknown paths get 404; non-GET/HEAD methods get 405.  Per-connection
+    failures (timeouts, resets, malformed requests) are contained and never
+    escape the accept loop.  Each served request increments the
+    [ddm_obs_http_requests_total] counter. *)
+
+type server
+
+val start :
+  ?host:string -> ?ledger_file:string -> port:int -> unit -> (server, string) result
+(** Bind [host] (default ["127.0.0.1"]) on [port] and start serving on a
+    fresh domain.  [port = 0] picks an ephemeral port — read it back with
+    {!port}.  [ledger_file] backs the [/runs] endpoint.  [Error msg] when
+    the bind/listen fails (e.g. the port is taken); the socket is closed on
+    that path.  Also ignores [SIGPIPE] process-wide, so clients that hang
+    up mid-response surface as [EPIPE] instead of killing the process.
+    @raise Invalid_argument on a port outside [0, 65535] or an unparsable
+    [host]. *)
+
+val port : server -> int
+(** The actually-bound port (useful after [port:0]). *)
+
+val stop : server -> unit
+(** Signal the accept loop, join its domain and close the listening
+    socket.  Returns within ~a quarter second (the loop's poll timeout).
+    Idempotent. *)

@@ -74,9 +74,46 @@ let read_first_line path =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> match input_line ic with line -> Some (String.trim line) | exception End_of_file -> None)
 
+let fold_lines path f acc =
+  match open_in path with
+  | exception Sys_error _ -> acc
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let acc = ref acc in
+        (try
+           while true do
+             acc := f !acc (input_line ic)
+           done
+         with End_of_file -> ());
+        !acc)
+
+(* A ref that was packed by `git pack-refs` (or by a fresh clone) has no
+   loose file under refs/; its tip lives in .git/packed-refs as
+   "<hash> <refname>" lines ('#' starts a header comment, '^' a peeled-tag
+   line).  Loose wins over packed, matching git's own precedence. *)
+let resolve_ref git_dir ref_path =
+  match read_first_line (Filename.concat git_dir ref_path) with
+  | Some hash when hash <> "" -> Some hash
+  | _ ->
+    fold_lines (Filename.concat git_dir "packed-refs")
+      (fun acc line ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if line = "" || line.[0] = '#' || line.[0] = '^' then None
+          else (
+            match String.index_opt line ' ' with
+            | Some i
+              when String.sub line (i + 1) (String.length line - i - 1) = ref_path ->
+              Some (String.sub line 0 i)
+            | _ -> None))
+      None
+
 (* Resolve HEAD without shelling out: walk up to the enclosing .git (which
    may be a worktree pointer file), then follow one level of "ref:". *)
-let git_rev () =
+let git_rev_at ~dir =
   let rec find_git dir depth =
     if depth > 40 then None
     else
@@ -99,7 +136,7 @@ let git_rev () =
         let parent = Filename.dirname dir in
         if parent = dir then None else find_git parent (depth + 1)
   in
-  match find_git (Sys.getcwd ()) 0 with
+  match find_git dir 0 with
   | None -> None
   | Some git_dir -> (
     match read_first_line (Filename.concat git_dir "HEAD") with
@@ -109,8 +146,10 @@ let git_rev () =
       if String.length head > String.length prefix && String.sub head 0 (String.length prefix) = prefix
       then
         let ref_path = String.sub head (String.length prefix) (String.length head - String.length prefix) in
-        read_first_line (Filename.concat git_dir ref_path)
+        resolve_ref git_dir ref_path
       else Some head)
+
+let git_rev () = git_rev_at ~dir:(Sys.getcwd ())
 
 (* ------------------------------ entries ------------------------------ *)
 

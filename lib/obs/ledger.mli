@@ -32,8 +32,13 @@ val gc_of_json : Jsonx.t -> gc_stats
 
 val git_rev : unit -> string option
 (** HEAD commit hash of the enclosing git checkout, resolved by reading
-    [.git/HEAD] (no subprocess); [None] outside a checkout or on any read
+    [.git/HEAD] (no subprocess); refs with no loose file fall back to
+    [.git/packed-refs].  [None] outside a checkout or on any read
     failure. *)
+
+val git_rev_at : dir:string -> string option
+(** Same resolution starting the [.git] walk from [dir] instead of the
+    current working directory (unit-testable against a synthetic layout). *)
 
 (** {1 Entries} *)
 

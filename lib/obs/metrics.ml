@@ -6,7 +6,13 @@
    Counter cells are atomic so instrumented code keeps counting correctly
    from Monte-Carlo worker domains (Mc_par); gauges and histograms stay
    plain — they are only written from the main domain (the parallel
-   runners merge per-worker tallies on join and publish once). *)
+   runners merge per-worker tallies on join and publish once).
+
+   The registry table itself is guarded by a mutex: the live observability
+   plane (Httpd, Snapring) snapshots from its own domains, and an unguarded
+   Hashtbl.fold racing a registration-triggered resize could crash.  Only
+   registration and snapshotting take the lock — the update hot path never
+   touches the table, it holds the metric cell directly. *)
 
 type counter = { c_name : string; c_value : int Atomic.t }
 type gauge = { g_name : string; mutable g_value : float }
@@ -27,6 +33,11 @@ let set_enabled b = on := b
 let enabled () = !on
 
 let registry : (string, registered) Hashtbl.t = Hashtbl.create 64
+let registry_mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mu) f
 
 let register name help metric =
   Hashtbl.add registry name { metric; help };
@@ -36,6 +47,7 @@ let kind_mismatch name =
   invalid_arg (Printf.sprintf "Metrics: %S is already registered with a different kind" name)
 
 let counter ?(help = "") name =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some { metric = C c; _ } -> c
   | Some _ -> kind_mismatch name
@@ -45,6 +57,7 @@ let counter ?(help = "") name =
     | _ -> assert false)
 
 let gauge ?(help = "") name =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some { metric = G g; _ } -> g
   | Some _ -> kind_mismatch name
@@ -62,6 +75,7 @@ let check_bounds name bounds =
   done
 
 let histogram ?(help = "") ~buckets name =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some { metric = H h; _ } ->
     if h.bounds <> buckets then
@@ -125,12 +139,33 @@ let sample_of name { metric; help } =
   { name; help; value }
 
 let snapshot () =
-  Hashtbl.fold (fun name r acc -> sample_of name r :: acc) registry []
+  locked (fun () -> Hashtbl.fold (fun name r acc -> sample_of name r :: acc) registry [])
   |> List.sort (fun a b -> compare a.name b.name)
 
-let find name = Option.map (sample_of name) (Hashtbl.find_opt registry name)
+let find name = locked @@ fun () -> Option.map (sample_of name) (Hashtbl.find_opt registry name)
+
+(* Cheap per-kind readings for the periodic snapshot ring (Snapring): no
+   histogram array copies, just the scalar cells.  Counter reads are
+   atomic; gauge reads of another domain's in-flight store return the old
+   or the new value (floats are word-sized), never garbage. *)
+let counter_samples () =
+  locked (fun () ->
+    Hashtbl.fold
+      (fun name { metric; _ } acc ->
+        match metric with C c -> (name, Atomic.get c.c_value) :: acc | _ -> acc)
+      registry [])
+  |> List.sort compare
+
+let gauge_samples () =
+  locked (fun () ->
+    Hashtbl.fold
+      (fun name { metric; _ } acc ->
+        match metric with G g -> (name, g.g_value) :: acc | _ -> acc)
+      registry [])
+  |> List.sort compare
 
 let reset () =
+  locked @@ fun () ->
   Hashtbl.iter
     (fun _ { metric; _ } ->
       match metric with

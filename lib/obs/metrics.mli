@@ -16,7 +16,10 @@
     inside Monte-Carlo worker domains (see [Mc_par]) without losing
     increments.  Gauges and histograms are {e not} synchronized — update
     them from the main domain only (the parallel runners accumulate
-    per-worker tallies and publish gauge values once, after the join). *)
+    per-worker tallies and publish gauge values once, after the join).
+    The registry table itself is mutex-guarded, so {!snapshot} (and the
+    live [/metrics] endpoint built on it) may run concurrently with
+    registrations from any domain. *)
 
 type counter
 type gauge
@@ -73,6 +76,13 @@ val snapshot : unit -> sample list
     link order, so it is not stable across binaries). *)
 
 val find : string -> sample option
+
+val counter_samples : unit -> (string * int) list
+(** Every registered counter's current value, sorted by name.  Cheaper than
+    {!snapshot} (no histogram copies); used by the periodic snapshot ring. *)
+
+val gauge_samples : unit -> (string * float) list
+(** Every registered gauge's current value, sorted by name. *)
 
 val reset : unit -> unit
 (** Zero every registered metric's value; registrations survive. *)

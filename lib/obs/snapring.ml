@@ -1,0 +1,88 @@
+(* Periodic metrics-snapshot ring: a sampler domain wakes every [period_s],
+   reads the scalar metrics (atomic counters, gauges) and appends a
+   timestamped sample to a fixed-capacity ring.  The ring powers the
+   /snapshot endpoint's recent history and the optional counter track in
+   the Chrome trace export.  All ring access is mutex-guarded; samples are
+   immutable once stored. *)
+
+type sample = { t_s : float; counters : (string * int) list; gauges : (string * float) list }
+
+type state = {
+  mutable ring : sample array; (* capacity slots; dummy-filled until written *)
+  mutable next : int; (* insertion cursor *)
+  mutable total : int; (* samples ever written; min(total, capacity) are live *)
+}
+
+let dummy = { t_s = nan; counters = []; gauges = [] }
+let mu = Mutex.create ()
+let state = { ring = [||]; next = 0; total = 0 }
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let default_capacity = 240
+let default_period_s = 0.25
+
+let sample_now () =
+  let s =
+    { t_s = Unix.gettimeofday (); counters = Metrics.counter_samples (); gauges = Metrics.gauge_samples () }
+  in
+  locked (fun () ->
+    let cap = Array.length state.ring in
+    if cap > 0 then begin
+      state.ring.(state.next) <- s;
+      state.next <- (state.next + 1) mod cap;
+      state.total <- state.total + 1
+    end)
+
+let samples () =
+  locked (fun () ->
+    let cap = Array.length state.ring in
+    let live = min state.total cap in
+    (* oldest first: the slot after the cursor is the oldest when full *)
+    List.init live (fun i -> state.ring.((state.next - live + i + cap + cap) mod cap)))
+
+let clear () =
+  locked (fun () ->
+    Array.fill state.ring 0 (Array.length state.ring) dummy;
+    state.next <- 0;
+    state.total <- 0)
+
+(* ------------------------------ sampler ------------------------------ *)
+
+let stop_flag = Atomic.make false
+let sampler : unit Domain.t option ref = ref None
+
+let running () = Option.is_some !sampler
+
+let start ?(period_s = default_period_s) ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Snapring.start: capacity must be >= 1";
+  if not (period_s > 0.) then invalid_arg "Snapring.start: period_s must be positive";
+  if not (running ()) then begin
+    locked (fun () ->
+      if Array.length state.ring <> capacity then begin
+        state.ring <- Array.make capacity dummy;
+        state.next <- 0;
+        state.total <- 0
+      end);
+    Atomic.set stop_flag false;
+    sample_now ();
+    sampler :=
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get stop_flag) do
+               (try Unix.sleepf period_s with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+               if not (Atomic.get stop_flag) then sample_now ()
+             done))
+  end
+
+let stop () =
+  match !sampler with
+  | None -> ()
+  | Some d ->
+    Atomic.set stop_flag true;
+    Domain.join d;
+    sampler := None;
+    (* one final sample so short runs still close with an up-to-date point *)
+    sample_now ()

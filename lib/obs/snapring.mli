@@ -1,0 +1,38 @@
+(** Periodic metrics-snapshot ring buffer.
+
+    {!start} spawns a sampler domain that records the scalar metrics
+    (atomic counters and gauges, via {!Metrics.counter_samples} /
+    {!Metrics.gauge_samples}) every [period_s] into a fixed-capacity ring;
+    the oldest samples are overwritten.  The ring powers the /snapshot
+    endpoint's history and the counter track of the Chrome trace export.
+
+    The sampler runs off the main domain, so counters read mid-run are the
+    live atomic values; one extra mostly-sleeping domain is the whole cost.
+    All entry points may be called from any domain. *)
+
+type sample = {
+  t_s : float;  (** Unix epoch seconds at sampling time *)
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;  (** sorted by name *)
+}
+
+val start : ?period_s:float -> ?capacity:int -> unit -> unit
+(** Start the sampler (idempotent while running; an immediate sample is
+    taken first).  Defaults: period 0.25 s, capacity 240 — a minute of
+    history.  A capacity change while stopped reallocates and clears the
+    ring.
+    @raise Invalid_argument on a nonpositive period or capacity. *)
+
+val stop : unit -> unit
+(** Stop and join the sampler, recording one final sample.  No-op when not
+    running.  Stop latency is at most one period. *)
+
+val running : unit -> bool
+
+val sample_now : unit -> unit
+(** Record one sample immediately (works with or without the sampler). *)
+
+val samples : unit -> sample list
+(** Live samples, oldest first. *)
+
+val clear : unit -> unit

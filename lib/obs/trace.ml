@@ -1,6 +1,7 @@
 type span = {
   name : string;
   depth : int;
+  tid : int; (* id of the domain the span completed on; survives absorb *)
   start_s : float;
   dur_s : float;
   minor_words : float;
@@ -30,10 +31,43 @@ type buffer = {
   mutable n_recorded : int;
   mutable n_dropped : int;
   mutable depth : int;
+  mutable registered : bool; (* this buffer is on the live-read registry *)
 }
 
+(* Live registry of every domain's buffer, so the observability plane
+   (Httpd's /snapshot, running on its own domain) can read spans mid-run
+   without waiting for a join.  Registration is mutex-guarded; the reads in
+   [live_spans] are deliberately unsynchronized — a racy load of [recorded]
+   returns some previously-published cons cell (span fields are immutable,
+   list cells are never mutated), so a live reader sees a consistent,
+   possibly slightly stale, prefix of the history.  Exact totals are only
+   guaranteed after the owning domain finishes (Domain.join publishes).
+   [drain] unregisters so buffers of exited worker domains do not pile up:
+   workers drain right before they join. *)
+let registry_mu = Mutex.create ()
+let registry : buffer list ref = ref []
+
+let register_buffer b =
+  if not b.registered then begin
+    b.registered <- true;
+    Mutex.lock registry_mu;
+    registry := b :: !registry;
+    Mutex.unlock registry_mu
+  end
+
+let unregister_buffer b =
+  if b.registered then begin
+    b.registered <- false;
+    Mutex.lock registry_mu;
+    registry := List.filter (fun b' -> b' != b) !registry;
+    Mutex.unlock registry_mu
+  end
+
 let buffer_key =
-  Domain.DLS.new_key (fun () -> { recorded = []; n_recorded = 0; n_dropped = 0; depth = 0 })
+  Domain.DLS.new_key (fun () ->
+    let b = { recorded = []; n_recorded = 0; n_dropped = 0; depth = 0; registered = false } in
+    register_buffer b;
+    b)
 
 let buffer () = Domain.DLS.get buffer_key
 let dropped () = (buffer ()).n_dropped
@@ -47,6 +81,7 @@ let clear () =
 
 let record s =
   let b = buffer () in
+  register_buffer b;
   if b.n_recorded < max_recorded then begin
     b.recorded <- s :: b.recorded;
     b.n_recorded <- b.n_recorded + 1
@@ -59,7 +94,15 @@ let drain () =
   b.recorded <- [];
   b.n_recorded <- 0;
   b.n_dropped <- 0;
+  unregister_buffer b;
   spans
+
+let live_spans () =
+  Mutex.lock registry_mu;
+  let buffers = !registry in
+  Mutex.unlock registry_mu;
+  List.concat_map (fun b -> List.rev b.recorded) buffers
+  |> List.stable_sort (fun a b -> compare (a.start_s, a.depth) (b.start_s, b.depth))
 
 let absorb spans = List.iter record (List.rev spans)
 
@@ -86,6 +129,7 @@ let with_span name f =
           {
             name;
             depth = d;
+            tid = (Domain.self () :> int);
             start_s;
             dur_s;
             minor_words = mw1 -. mw0;
@@ -115,7 +159,7 @@ type profile_row = {
    both their own name and every enclosing name (no self-time subtraction);
    none of the instrumented span names recurse today, so totals do not
    double-count within one name. *)
-let profile () =
+let profile_of spans =
   let agg = Hashtbl.create 16 in
   List.iter
     (fun s ->
@@ -143,9 +187,11 @@ let profile () =
           p_minor_collections = row.p_minor_collections + s.minor_collections;
           p_major_collections = row.p_major_collections + s.major_collections;
         })
-    (buffer ()).recorded;
+    spans;
   Hashtbl.fold (fun _ row acc -> row :: acc) agg []
   |> List.sort (fun a b -> compare b.total_s a.total_s)
+
+let profile () = profile_of (buffer ()).recorded
 
 let total_seconds name =
   List.fold_left

@@ -17,6 +17,10 @@
 type span = {
   name : string;
   depth : int;  (** nesting depth at entry; 0 for top-level spans *)
+  tid : int;
+      (** id of the domain the span completed on ([Domain.self] as an int);
+          preserved across {!drain}/{!absorb}, so worker spans keep their
+          origin — the Chrome trace export renders one track per [tid] *)
   start_s : float;  (** wall-clock seconds (Unix epoch) at entry *)
   dur_s : float;  (** monotonic-clock duration in seconds; never negative *)
   minor_words : float;  (** words allocated in the minor heap during the span *)
@@ -43,6 +47,15 @@ val spans : unit -> span list
 (** Completed spans in chronological (start-time) order.  At most
     {!max_recorded} spans are kept; see {!dropped}. *)
 
+val live_spans : unit -> span list
+(** Completed spans across {e every} live domain's buffer, chronological.
+    Unlike {!spans} this may be called from any domain (the obs HTTP
+    server's /snapshot uses it mid-run).  Reads are unsynchronized but
+    memory-safe: span records and list cells are immutable once published,
+    so a concurrent reader sees a consistent, possibly slightly stale,
+    prefix of each domain's history.  Exact totals are only guaranteed
+    after the owning domains have joined. *)
+
 val max_recorded : int
 val dropped : unit -> int
 
@@ -64,6 +77,9 @@ val profile : unit -> profile_row list
     both their own name and every enclosing name (no self-time
     subtraction). *)
 
+val profile_of : span list -> profile_row list
+(** The same aggregation over an explicit span list (e.g. {!live_spans}). *)
+
 val total_seconds : string -> float
 (** Total recorded duration of all spans with the given name; 0 when none
     were recorded. *)
@@ -78,7 +94,9 @@ val drain : unit -> span list
 (** Remove and return the calling domain's recorded spans (newest first,
     the order {!absorb} expects).  Resets the recorded and dropped counts
     but not the nesting depth, so it is safe to call from inside an open
-    span (a worker draining before it joins). *)
+    span (a worker draining before it joins).  Also removes the calling
+    domain's buffer from the {!live_spans} registry, so exited workers do
+    not accumulate there; the next recorded span re-registers it. *)
 
 val absorb : span list -> unit
 (** Append spans drained on another domain to the calling domain's buffer,

@@ -11,6 +11,10 @@ let fold ?(leases = default_leases) ~domains ~rng ~samples ~init ~step ~merge ()
   if domains < 1 then invalid_arg "Mc_par.fold: domains must be >= 1";
   if leases < 1 then invalid_arg "Mc_par.fold: leases must be >= 1";
   if samples < 0 then invalid_arg "Mc_par.fold: samples must be >= 0";
+  if Logx.would_log Logx.Info then
+    Logx.info "mc.par.start"
+      [ ("domains", Logx.Int domains); ("leases", Logx.Int leases); ("samples", Logx.Int samples) ];
+  let t0 = Trace.now_mono_s () in
   (* Derive every lease stream up front, in lease order, so the draw
      sequence of lease i depends only on (root seed, leases, i) — never on
      scheduling. *)
@@ -20,6 +24,8 @@ let fold ?(leases = default_leases) ~domains ~rng ~samples ~init ~step ~merge ()
   let next = Atomic.make 0 in
   let run_lease i =
     Trace.with_span "mc.par.lease" @@ fun () ->
+    if Logx.would_log Logx.Debug then
+      Logx.debug "mc.par.lease" [ ("lease", Logx.Int i); ("samples", Logx.Int counts.(i)) ];
     let rng = streams.(i) in
     let acc = ref (init ()) in
     for _ = 1 to counts.(i) do
@@ -56,6 +62,9 @@ let fold ?(leases = default_leases) ~domains ~rng ~samples ~init ~step ~merge ()
     (match main_exn with Some e -> raise e | None -> ());
     Array.iter (function Error e -> raise e | Ok _ -> ()) joined
   end;
+  if Logx.would_log Logx.Info then
+    Logx.info "mc.par.done"
+      [ ("samples", Logx.Int samples); ("wall_s", Logx.Float (Trace.now_mono_s () -. t0)) ];
   Array.fold_left
     (fun acc r -> match r with Some v -> merge acc v | None -> acc)
     (init ()) results

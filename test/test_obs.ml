@@ -390,6 +390,225 @@ let export_tests =
       Alcotest.(check bool) "prometheus alias" true
         (Export.format_of_string "prometheus" = Some Export.Prometheus);
       Alcotest.(check bool) "unknown rejected" true (Export.format_of_string "xml" = None));
+    Alcotest.test_case "prom_name sanitizes to the exposition name class" `Quick (fun () ->
+      Alcotest.(check string) "valid name untouched" "ddm_mc:samples_total"
+        (Export.prom_name "ddm_mc:samples_total");
+      Alcotest.(check string) "spaces and punctuation" "_bad_name_"
+        (Export.prom_name "9bad name!");
+      Alcotest.(check string) "leading digit" "_2xx_total" (Export.prom_name "42xx_total");
+      Alcotest.(check string) "empty becomes underscore" "_" (Export.prom_name "");
+      let ok c = match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false in
+      let dirty = "m\xc3\xa9trique-total/s" in
+      Alcotest.(check bool) "every output byte is in class" true
+        (String.for_all ok (Export.prom_name dirty)));
+    Alcotest.test_case "prom_escape_label escapes backslash, quote, newline" `Quick (fun () ->
+      Alcotest.(check string) "backslash" "a\\\\b" (Export.prom_escape_label "a\\b");
+      Alcotest.(check string) "quote" "a\\\"b" (Export.prom_escape_label "a\"b");
+      Alcotest.(check string) "newline" "a\\nb" (Export.prom_escape_label "a\nb");
+      Alcotest.(check string) "plain passes through" "plain" (Export.prom_escape_label "plain"));
+    Alcotest.test_case "prometheus conformance golden for dirty input" `Quick (fun () ->
+      let dirty =
+        [
+          { Metrics.name = "2 bad!name"; help = "counts\nthings"; value = Metrics.Counter_v 1 };
+        ]
+      in
+      let expected =
+        "# HELP __bad_name counts\\nthings\n\
+         # TYPE __bad_name counter\n\
+         __bad_name 1\n"
+      in
+      Alcotest.(check string) "sanitized exposition" expected (Export.to_prometheus dirty));
+    Alcotest.test_case "prometheus output always ends with a newline" `Quick (fun () ->
+      Alcotest.(check string) "empty snapshot is a bare newline" "\n"
+        (Export.to_prometheus []);
+      let out = Export.to_prometheus golden_samples in
+      Alcotest.(check bool) "trailing newline" true (out.[String.length out - 1] = '\n'));
+  ]
+
+(* -------------------------------- logx -------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Capture everything Logx emits during [f] and return it, restoring the
+   default (disabled, human, stderr) configuration afterwards so the global
+   sink never leaks across tests. *)
+let capture_logs ?(level = Some Logx.Info) ?(format = Logx.Human) f =
+  let path = Filename.temp_file "test_obs_log" ".log" in
+  let oc = open_out path in
+  Logx.set_channel oc;
+  Logx.set_format format;
+  Logx.set_level level;
+  Fun.protect
+    ~finally:(fun () ->
+      Logx.set_level None;
+      Logx.set_format Logx.Human;
+      Logx.set_channel stderr;
+      close_out_noerr oc;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      f ();
+      flush oc;
+      read_file path)
+
+let logx_tests =
+  [
+    Alcotest.test_case "level filter admits at and above, suppresses below" `Quick (fun () ->
+      let out =
+        capture_logs ~level:(Some Logx.Warn) (fun () ->
+          Logx.debug "quiet_debug" [];
+          Logx.info "quiet_info" [];
+          Logx.warn "loud_warn" [ ("k", Logx.Int 1) ];
+          Logx.error "loud_error" [])
+      in
+      let contains needle =
+        let lh = String.length out and ln = String.length needle in
+        let rec go i = i + ln <= lh && (String.sub out i ln = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "debug suppressed" false (contains "quiet_debug");
+      Alcotest.(check bool) "info suppressed" false (contains "quiet_info");
+      Alcotest.(check bool) "warn emitted" true (contains "loud_warn");
+      Alcotest.(check bool) "error emitted" true (contains "loud_error");
+      Alcotest.(check bool) "field rendered" true (contains "k=1"));
+    Alcotest.test_case "disabled by default and after None" `Quick (fun () ->
+      Logx.set_level None;
+      Alcotest.(check bool) "would_log error" false (Logx.would_log Logx.Error);
+      Alcotest.(check bool) "current level" true (Logx.current_level () = None);
+      Logx.set_level (Some Logx.Debug);
+      Alcotest.(check bool) "debug admits everything" true (Logx.would_log Logx.Debug);
+      Logx.set_level None);
+    Alcotest.test_case "json format emits one valid object per line" `Quick (fun () ->
+      let out =
+        capture_logs ~level:(Some Logx.Debug) ~format:Logx.Json (fun () ->
+          Logx.info "json line \"quoted\""
+            [
+              ("s", Logx.Str "a\"b\\c"); ("i", Logx.Int (-3)); ("f", Logx.Float 0.5);
+              ("b", Logx.Bool true); ("nan", Logx.Float Float.nan);
+            ];
+          Logx.debug "second" [])
+      in
+      let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+      Alcotest.(check int) "two records" 2 (List.length lines);
+      List.iter
+        (fun l -> Alcotest.(check bool) ("parses: " ^ l) true (json_valid l))
+        lines;
+      match Jsonx.parse (List.hd lines) with
+      | Error msg -> Alcotest.fail msg
+      | Ok j ->
+        Alcotest.(check (option string)) "msg" (Some "json line \"quoted\"")
+          (Jsonx.string_member "msg" j);
+        Alcotest.(check (option string)) "level" (Some "info") (Jsonx.string_member "level" j);
+        Alcotest.(check (option string)) "string field" (Some "a\"b\\c")
+          (Jsonx.string_member "s" j);
+        Alcotest.(check (option int)) "int field" (Some (-3)) (Jsonx.int_member "i" j);
+        Alcotest.(check bool) "bool field" true (Jsonx.member "b" j = Some (Jsonx.Bool true));
+        Alcotest.(check bool) "nan field is null" true (Jsonx.member "nan" j = Some Jsonx.Null));
+    Alcotest.test_case "human format is one line per record with fields" `Quick (fun () ->
+      let out =
+        capture_logs ~level:(Some Logx.Info) (fun () ->
+          Logx.info "human_msg" [ ("plain", Logx.Str "x"); ("spacey", Logx.Str "a b") ])
+      in
+      let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+      Alcotest.(check int) "one line" 1 (List.length lines);
+      let l = List.hd lines in
+      let contains needle =
+        let lh = String.length l and ln = String.length needle in
+        let rec go i = i + ln <= lh && (String.sub l i ln = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "has level" true (contains "info");
+      Alcotest.(check bool) "has msg" true (contains "human_msg");
+      Alcotest.(check bool) "bare atom unquoted" true (contains "plain=x");
+      Alcotest.(check bool) "spacey value quoted" true (contains "spacey=\"a b\""));
+    Alcotest.test_case "level names round-trip" `Quick (fun () ->
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "round-trips" true
+            (Logx.level_of_string (Logx.level_to_string l) = Some l))
+        [ Logx.Debug; Logx.Info; Logx.Warn; Logx.Error ];
+      Alcotest.(check bool) "warning alias" true (Logx.level_of_string "warning" = Some Logx.Warn);
+      Alcotest.(check bool) "unknown rejected" true (Logx.level_of_string "verbose" = None));
+    Alcotest.test_case "disabled logging is allocation-free" `Quick (fun () ->
+      Logx.set_level None;
+      let msg = Sys.opaque_identity "off" in
+      let w0 = Gc.minor_words () in
+      for _ = 1 to 10_000 do
+        Logx.debug msg []
+      done;
+      let dw = Gc.minor_words () -. w0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "10k disabled records allocated %.0f words (want < 100)" dw)
+        true (dw < 100.));
+  ]
+
+(* ---------------------------- chrome trace ---------------------------- *)
+
+let mk_span ?(depth = 0) ~name ~tid ~start_s ~dur_s () =
+  {
+    Trace.name; depth; tid; start_s; dur_s; minor_words = 120.; major_words = 8.;
+    minor_collections = 1; major_collections = 0;
+  }
+
+let chrome_tests =
+  [
+    Alcotest.test_case "two-domain trace renders tracks, spans, counters" `Quick (fun () ->
+      let spans =
+        [
+          mk_span ~name:"main.work" ~tid:0 ~start_s:100.0 ~dur_s:0.5 ();
+          mk_span ~name:"mc.par.lease" ~tid:1 ~start_s:100.1 ~dur_s:0.2 ~depth:1 ();
+          mk_span ~name:"mc.par.lease" ~tid:0 ~start_s:100.3 ~dur_s:0.1 ~depth:1 ();
+        ]
+      in
+      let counters =
+        [
+          { Snapring.t_s = 100.0; counters = [ ("c_total", 0); ("zero_total", 0) ]; gauges = [] };
+          { Snapring.t_s = 100.4; counters = [ ("c_total", 7); ("zero_total", 0) ]; gauges = [] };
+        ]
+      in
+      let out = Chrome_trace.json ~counters spans in
+      Alcotest.(check bool) "valid JSON" true (json_valid (String.trim out));
+      let j = Jsonx.parse_exn (String.trim out) in
+      let events = Option.get (Jsonx.list_member "traceEvents" j) in
+      let ph e = Option.value ~default:"" (Jsonx.string_member "ph" e) in
+      let xs = List.filter (fun e -> ph e = "X") events in
+      let ms = List.filter (fun e -> ph e = "M") events in
+      let cs = List.filter (fun e -> ph e = "C") events in
+      Alcotest.(check int) "one X event per span" 3 (List.length xs);
+      Alcotest.(check int) "one thread_name per tid" 2 (List.length ms);
+      (* tid 0 and 1 both covered by metadata *)
+      let m_tids = List.filter_map (fun e -> Jsonx.int_member "tid" e) ms in
+      Alcotest.(check (list int)) "metadata tids" [ 0; 1 ] (List.sort compare m_tids);
+      (* live counter sampled twice, constant-zero counter dropped *)
+      Alcotest.(check int) "counter events" 2 (List.length cs);
+      Alcotest.(check bool) "zero counter omitted" true
+        (List.for_all (fun e -> Jsonx.string_member "name" e = Some "c_total") cs);
+      (* timestamps rebased on the earliest point: first span starts at 0 us *)
+      let first_x = List.hd xs in
+      Alcotest.(check (option (float 1e-6))) "rebased ts" (Some 0.)
+        (Jsonx.float_member "ts" first_x);
+      Alcotest.(check (option (float 1e-3))) "dur in us" (Some 500000.)
+        (Jsonx.float_member "dur" first_x);
+      (* GC delta rides along as args *)
+      let args = Option.get (Jsonx.member "args" first_x) in
+      Alcotest.(check (option (float 0.))) "minor words arg" (Some 120.)
+        (Jsonx.float_member "minor_words" args));
+    Alcotest.test_case "empty trace is still a valid document" `Quick (fun () ->
+      let out = Chrome_trace.json [] in
+      Alcotest.(check bool) "valid JSON" true (json_valid (String.trim out));
+      let j = Jsonx.parse_exn (String.trim out) in
+      Alcotest.(check bool) "empty traceEvents" true (Jsonx.list_member "traceEvents" j = Some []));
+    Alcotest.test_case "write emits the same document to a file" `Quick (fun () ->
+      let file = Filename.temp_file "test_obs_trace" ".json" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+        (fun () ->
+          let spans = [ mk_span ~name:"w" ~tid:0 ~start_s:1. ~dur_s:0.25 () ] in
+          Chrome_trace.write ~file spans;
+          Alcotest.(check string) "file contents" (Chrome_trace.json spans) (read_file file)));
   ]
 
 (* ----------------------------- integration ----------------------------- *)
@@ -409,11 +628,195 @@ let ddm_exe =
   | Some p -> p
   | None -> List.hd candidates
 
-let read_file path =
-  let ic = open_in_bin path in
+(* -------------------------------- httpd -------------------------------- *)
+
+(* Raw-socket HTTP client: the server must speak to anything, so the tests
+   avoid bundling a client abstraction that could mask framing bugs. *)
+let http_request ?(meth = "GET") port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf "%s %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n" meth path
+      in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 1024 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | k ->
+          Buffer.add_subbytes buf chunk 0 k;
+          drain ()
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> Option.value ~default:(-1) (int_of_string_opt code)
+        | _ -> -1
+      in
+      let body =
+        let rec find i =
+          if i + 3 >= String.length raw then None
+          else if raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r' && raw.[i + 3] = '\n'
+          then Some (String.sub raw (i + 4) (String.length raw - i - 4))
+          else find (i + 1)
+        in
+        Option.value ~default:"" (find 0)
+      in
+      (status, body))
+
+let with_server ?ledger_file f =
+  match Httpd.start ?ledger_file ~port:0 () with
+  | Error msg -> Alcotest.fail ("server did not start: " ^ msg)
+  | Ok server ->
+    Fun.protect ~finally:(fun () -> Httpd.stop server) (fun () -> f (Httpd.port server))
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let httpd_tests =
+  [
+    Alcotest.test_case "healthz answers ok" `Quick (fun () ->
+      with_server (fun port ->
+        let status, body = http_request port "/healthz" in
+        Alcotest.(check int) "200" 200 status;
+        Alcotest.(check string) "body" "ok\n" body));
+    Alcotest.test_case "metrics serves the live exposition" `Quick (fun () ->
+      with_metrics (fun () ->
+        let c = Metrics.counter ~help:"via http" "test_obs_httpd_total" in
+        Metrics.add c 41;
+        with_server (fun port ->
+          let status, body = http_request port "/metrics" in
+          Alcotest.(check int) "200" 200 status;
+          Alcotest.(check bool) "has our counter" true (contains body "test_obs_httpd_total 41");
+          Alcotest.(check bool) "trailing newline" true
+            (String.length body > 0 && body.[String.length body - 1] = '\n');
+          (* the server's own request counter is live too: scrape again and
+             the first scrape has been counted *)
+          let _, body2 = http_request port "/metrics" in
+          Alcotest.(check bool) "request counter moved" true
+            (contains body2 "ddm_obs_http_requests_total"))));
+    Alcotest.test_case "snapshot is valid JSON with the expected schema" `Quick (fun () ->
+      with_metrics (fun () ->
+        ignore (Metrics.counter "test_obs_snap_total");
+        with_server (fun port ->
+          let status, body = http_request port "/snapshot" in
+          Alcotest.(check int) "200" 200 status;
+          Alcotest.(check bool) "valid JSON" true (json_valid body);
+          let j = Jsonx.parse_exn body in
+          Alcotest.(check (option string)) "schema" (Some "ddm.snapshot/v1")
+            (Jsonx.string_member "schema" j);
+          Alcotest.(check bool) "has metrics object" true (Jsonx.member "metrics" j <> None);
+          Alcotest.(check bool) "has profile array" true
+            (Jsonx.list_member "profile" j <> None);
+          Alcotest.(check bool) "has history array" true
+            (Jsonx.list_member "history" j <> None))));
+    Alcotest.test_case "runs serves the ledger tail" `Quick (fun () ->
+      let file = Filename.temp_file "test_obs_httpd_ledger" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+        (fun () ->
+          let gc = Ledger.gc_now () in
+          for k = 1 to 3 do
+            Ledger.append ~file
+              (Ledger.entry_of_run ~command:(Printf.sprintf "cmd%d" k) ~argv:[] ~wall_seconds:0.1
+                 ~gc ())
+          done;
+          with_server ~ledger_file:file (fun port ->
+            let status, body = http_request port "/runs?n=2" in
+            Alcotest.(check int) "200" 200 status;
+            Alcotest.(check bool) "valid JSON" true (json_valid body);
+            let j = Jsonx.parse_exn body in
+            Alcotest.(check (option string)) "schema" (Some "ddm.runs/v1")
+              (Jsonx.string_member "schema" j);
+            Alcotest.(check (option int)) "total" (Some 3) (Jsonx.int_member "total" j);
+            let entries = Option.get (Jsonx.list_member "entries" j) in
+            Alcotest.(check int) "tail of 2" 2 (List.length entries);
+            Alcotest.(check (list (option string))) "newest entries"
+              [ Some "cmd2"; Some "cmd3" ]
+              (List.map (Jsonx.string_member "command") entries))));
+    Alcotest.test_case "runs without a ledger renders empty" `Quick (fun () ->
+      with_server (fun port ->
+        let status, body = http_request port "/runs" in
+        Alcotest.(check int) "200" 200 status;
+        let j = Jsonx.parse_exn body in
+        Alcotest.(check bool) "no entries" true (Jsonx.list_member "entries" j = Some [])));
+    Alcotest.test_case "unknown path is 404, non-GET is 405" `Quick (fun () ->
+      with_server (fun port ->
+        Alcotest.(check int) "404" 404 (fst (http_request port "/no_such"));
+        Alcotest.(check int) "405" 405 (fst (http_request ~meth:"POST" port "/metrics"));
+        Alcotest.(check int) "HEAD ok" 200 (fst (http_request ~meth:"HEAD" port "/healthz"))));
+    Alcotest.test_case "two servers can run side by side" `Quick (fun () ->
+      with_server (fun p1 ->
+        with_server (fun p2 ->
+          Alcotest.(check bool) "distinct ports" true (p1 <> p2);
+          Alcotest.(check int) "first alive" 200 (fst (http_request p1 "/healthz"));
+          Alcotest.(check int) "second alive" 200 (fst (http_request p2 "/healthz")))));
+  ]
+
+(* ------------------------- concurrent scraping ------------------------- *)
+
+let concurrency_tests =
+  [
+    Alcotest.test_case "scraping never tears while workers increment" `Quick (fun () ->
+      with_metrics (fun () ->
+        let c = Metrics.counter ~help:"hammered" "test_obs_hammer_total" in
+        let samples = 200_000 in
+        let stop = Atomic.make false in
+        (* Scraper domain: render the full exposition in a loop while the
+           MC workers bump the counter.  Every render must be well-formed
+           (nonempty, newline-terminated) and never raise. *)
+        let scraper =
+          Domain.spawn (fun () ->
+            let n = ref 0 and bad = ref 0 in
+            while not (Atomic.get stop) do
+              let s = Export.to_prometheus (Metrics.snapshot ()) in
+              if String.length s = 0 || s.[String.length s - 1] <> '\n' then incr bad;
+              incr n
+            done;
+            (!n, !bad))
+        in
+        let total =
+          Mc_par.count ~domains:3 ~rng:(Rng.create ~seed:99) ~samples (fun _rng ->
+            Metrics.incr c;
+            true)
+        in
+        Atomic.set stop true;
+        let scrapes, bad = Domain.join scraper in
+        Alcotest.(check int) "no malformed renders" 0 bad;
+        Alcotest.(check bool) "scraped at least once" true (scrapes > 0);
+        Alcotest.(check int) "fold saw every sample" samples total;
+        Alcotest.(check int) "final counter exact" samples (Metrics.counter_value c)));
+    Alcotest.test_case "live HTTP scrape during a parallel run" `Quick (fun () ->
+      with_metrics (fun () ->
+        let c = Metrics.counter ~help:"scraped live" "test_obs_live_total" in
+        with_server (fun port ->
+          let total =
+            Mc_par.count ~domains:2 ~rng:(Rng.create ~seed:7) ~samples:50_000 (fun _rng ->
+              Metrics.incr c;
+              true)
+          in
+          Alcotest.(check int) "all samples" 50_000 total;
+          let status, body = http_request port "/metrics" in
+          Alcotest.(check int) "200" 200 status;
+          Alcotest.(check bool) "final total visible over HTTP" true
+            (contains body "test_obs_live_total 50000"))));
+    Alcotest.test_case "live_spans sees spans from joined workers" `Quick (fun () ->
+      with_tracing (fun () ->
+        let rng = Rng.create ~seed:3 in
+        ignore (Mc_par.count ~domains:2 ~leases:4 ~rng ~samples:100 (fun rng ->
+          Rng.float01 rng < 0.5));
+        let rows = Trace.profile_of (Trace.live_spans ()) in
+        match List.find_opt (fun r -> r.Trace.p_name = "mc.par.lease") rows with
+        | Some r -> Alcotest.(check int) "all leases visible" 4 r.Trace.calls
+        | None -> Alcotest.fail "no lease spans in live view"));
+  ]
 
 let integration_tests =
   [
@@ -465,5 +868,9 @@ let () =
       ("metrics", metric_tests);
       ("trace", trace_tests);
       ("export", export_tests);
+      ("logx", logx_tests);
+      ("chrome-trace", chrome_tests);
+      ("httpd", httpd_tests);
+      ("concurrency", concurrency_tests);
       ("integration", integration_tests);
     ]

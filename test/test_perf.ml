@@ -123,6 +123,53 @@ let ledger_tests =
           Alcotest.(check int) "no skips" 0 skipped;
           Alcotest.(check (list string)) "file order" [ "first"; "second" ]
             (List.map (fun e -> e.Ledger.command) entries)));
+    Alcotest.test_case "git rev resolves packed refs" `Quick (fun () ->
+      (* Synthetic checkout layout: HEAD points at a ref that has no loose
+         file, only a packed-refs line — the state `git pack-refs` (or a
+         fresh clone) leaves behind. *)
+      let root = Filename.temp_file "test_perf_git" "" in
+      Sys.remove root;
+      let git = Filename.concat root ".git" in
+      let refs_heads = Filename.concat git (Filename.concat "refs" "heads") in
+      List.iter (fun d -> Unix.mkdir d 0o755) [ root; git; Filename.concat git "refs"; refs_heads ];
+      let rm_rf = Printf.sprintf "rm -rf %s" (Filename.quote root) in
+      Fun.protect
+        ~finally:(fun () -> ignore (Sys.command rm_rf))
+        (fun () ->
+          let packed_hash = String.make 40 'a' in
+          write_file (Filename.concat git "HEAD") "ref: refs/heads/main\n";
+          write_file
+            (Filename.concat git "packed-refs")
+            (Printf.sprintf
+               "# pack-refs with: peeled fully-peeled sorted\n%s refs/heads/main\n^%s\n%s \
+                refs/heads/other\n"
+               packed_hash (String.make 40 'b') (String.make 40 'c'));
+          Alcotest.(check (option string))
+            "packed ref resolves" (Some packed_hash)
+            (Ledger.git_rev_at ~dir:root);
+          (* a loose ref file shadows the packed entry *)
+          let loose_hash = String.make 40 'd' in
+          write_file (Filename.concat refs_heads "main") (loose_hash ^ "\n");
+          Alcotest.(check (option string))
+            "loose ref wins" (Some loose_hash)
+            (Ledger.git_rev_at ~dir:root);
+          (* detached HEAD: the hash is stored directly *)
+          write_file (Filename.concat git "HEAD") (loose_hash ^ "\n");
+          Alcotest.(check (option string))
+            "detached HEAD" (Some loose_hash)
+            (Ledger.git_rev_at ~dir:root)));
+    Alcotest.test_case "git rev is None for a missing packed ref" `Quick (fun () ->
+      let root = Filename.temp_file "test_perf_git" "" in
+      Sys.remove root;
+      let git = Filename.concat root ".git" in
+      List.iter (fun d -> Unix.mkdir d 0o755) [ root; git ];
+      let rm_rf = Printf.sprintf "rm -rf %s" (Filename.quote root) in
+      Fun.protect
+        ~finally:(fun () -> ignore (Sys.command rm_rf))
+        (fun () ->
+          write_file (Filename.concat git "HEAD") "ref: refs/heads/main\n";
+          write_file (Filename.concat git "packed-refs") "# pack-refs with: sorted\n";
+          Alcotest.(check (option string)) "unresolvable" None (Ledger.git_rev_at ~dir:root)));
     Alcotest.test_case "torn final line is skipped, earlier entries survive" `Quick (fun () ->
       let file = tmp_file ".jsonl" in
       Fun.protect
