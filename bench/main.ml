@@ -27,6 +27,9 @@
                   throughput under crash fault injection
      x10        - parallel Monte-Carlo: lease-sharded sampling across
                   domains (speedup + worker-count bit-identity)
+     x11        - serve soak: the evaluation service end to end over
+                  real HTTP (cold/warm throughput, cache hit rate,
+                  shedding at saturation)
 
    -j N runs the Monte-Carlo groups (x8, x10) on N worker domains; the
    lease-sharded sampler keeps their estimates bit-identical for every N. *)
@@ -648,6 +651,127 @@ let x10 () =
   Printf.printf "\nrecommended -j on this machine: %d\n" (Mc_par.recommended_domains ())
 
 (* ------------------------------------------------------------------ *)
+(* x11: serve soak — the evaluation service end to end over real HTTP   *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal blocking HTTP/1.1 client, enough to drive the serve loopback
+   endpoint.  Send and receive are split so a burst can have many
+   requests in flight at once from a single-threaded client. *)
+let http_post_open ~port ~path body =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let req =
+    Printf.sprintf "POST %s HTTP/1.1\r\nHost: bench\r\nContent-Length: %d\r\n\r\n%s" path
+      (String.length body) body
+  in
+  let b = Bytes.of_string req in
+  let off = ref 0 in
+  while !off < Bytes.length b do
+    off := !off + Unix.write fd b !off (Bytes.length b - !off)
+  done;
+  fd
+
+let http_read fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let buf = Buffer.create 512 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | k ->
+          Buffer.add_subbytes buf chunk 0 k;
+          drain ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+      in
+      drain ();
+      let s = Buffer.contents buf in
+      let status = try int_of_string (String.sub s 9 3) with _ -> 0 in
+      let rec find i =
+        if i + 3 >= String.length s then String.length s
+        else if String.sub s i 4 = "\r\n\r\n" then i + 4
+        else find (i + 1)
+      in
+      let i = find 0 in
+      (status, String.sub s i (String.length s - i)))
+
+let http_post ~port ~path body = http_read (http_post_open ~port ~path body)
+
+let x11 () =
+  section "X11" "serve soak: throughput, cache hit rate, shedding at saturation";
+  let dir = Filename.temp_file "ddm_serve_bench" "" in
+  Sys.remove dir;
+  let cfg =
+    {
+      Serve.default_config with
+      Serve.workers = 2;
+      queue_depth = 4;
+      cache_dir = Some dir;
+      default_budget_ms = 30_000;
+    }
+  in
+  match Serve.start cfg with
+  | Error e -> Printf.printf "serve failed to start: %s\n" e
+  | Ok t ->
+    let port = Serve.port t in
+    let reqs =
+      List.init 24 (fun i ->
+        Printf.sprintf "{\"rule\":\"threshold\",\"n\":6,\"params\":%.3f}"
+          (0.3 +. (0.02 *. float_of_int i)))
+    in
+    let run_phase name =
+      let t0 = Unix.gettimeofday () in
+      let ok = List.length (List.filter (fun b -> fst (http_post ~port ~path:"/eval" b) = 200) reqs) in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf "%-18s %d/%d ok  %8.1f req/s\n" name ok (List.length reqs)
+        (float_of_int (List.length reqs) /. dt);
+      dt
+    in
+    Printf.printf "%-18s %s\n" "phase" "result";
+    let cold = run_phase "cold (solve)" in
+    let warm = run_phase "warm (cache)" in
+    Printf.printf "%-18s %.1fx\n" "warm speedup" (cold /. warm);
+    Serve.stop t;
+    Printf.printf "%-18s %s\n" "final stats" (Serve.stats_json t);
+    (* saturation: a separate instance whose every solve is stalled by
+       the chaos knob, hit with a 16-deep in-flight burst of distinct
+       keys — far past the queue watermark, so the excess must shed as
+       429 while every accepted job still completes *)
+    let slow_cfg =
+      {
+        Serve.default_config with
+        Serve.workers = 2;
+        queue_depth = 4;
+        default_budget_ms = 30_000;
+        chaos =
+          Some
+            { Serve.slow_rate = 1.0; slow_s = 0.25; panic_rate = 0.; diskfail_rate = 0.; seed = 11 };
+      }
+    in
+    (match Serve.start slow_cfg with
+    | Error e -> Printf.printf "slow serve failed to start: %s\n" e
+    | Ok slow ->
+      let burst =
+        List.init 16 (fun i ->
+          Printf.sprintf "{\"rule\":\"threshold\",\"n\":3,\"params\":%.4f}"
+            (0.31 +. (0.013 *. float_of_int i)))
+      in
+      let t0 = Unix.gettimeofday () in
+      let fds = List.map (fun b -> http_post_open ~port:(Serve.port slow) ~path:"/eval" b) burst in
+      let statuses = List.map (fun fd -> fst (http_read fd)) fds in
+      let dt = Unix.gettimeofday () -. t0 in
+      let count c = List.length (List.filter (( = ) c) statuses) in
+      Printf.printf "%-18s 200:%d 429:%d other:%d in %.2fs (queue %d, 250ms/solve)\n"
+        "burst (16 in-flight)" (count 200) (count 429)
+        (List.length statuses - count 200 - count 429)
+        dt slow_cfg.Serve.queue_depth;
+      Serve.stop slow)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -745,7 +869,7 @@ let groups =
   [
     ("fig1", fig1); ("fig2", fig2); ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4);
     ("l1", l1); ("p1", p1); ("x1", x1); ("x2", x2); ("x3", x3); ("x4", x4);
-    ("x5", x5); ("x6", x6); ("x7", x7); ("x8", x8); ("x10", x10);
+    ("x5", x5); ("x6", x6); ("x7", x7); ("x8", x8); ("x10", x10); ("x11", x11);
   ]
 
 (* ------------------------------------------------------------------ *)

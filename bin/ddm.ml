@@ -1048,6 +1048,161 @@ let obs_cmd =
           these endpoints during a run; $(b,ddm obs serve) runs them standalone.")
     [ obs_serve_cmd ]
 
+(* ------------------------- serve ------------------------- *)
+
+let serve_cmd =
+  let run port workers queue_depth budget_ms lru_cap cache_dir ledger duration chaos_slow
+      chaos_slow_s chaos_panic chaos_diskfail chaos_seed =
+    Metrics.set_enabled true;
+    Trace.set_enabled true;
+    let chaos =
+      if chaos_slow > 0. || chaos_panic > 0. || chaos_diskfail > 0. then
+        Some
+          {
+            Serve.slow_rate = chaos_slow;
+            slow_s = chaos_slow_s;
+            panic_rate = chaos_panic;
+            diskfail_rate = chaos_diskfail;
+            seed = chaos_seed;
+          }
+      else None
+    in
+    let cfg =
+      {
+        Serve.default_config with
+        Serve.port;
+        workers;
+        queue_depth;
+        default_budget_ms = budget_ms;
+        lru_cap;
+        cache_dir;
+        ledger_file = ledger;
+        chaos;
+      }
+    in
+    match Serve.start cfg with
+    | exception Sys_error msg ->
+      Printf.eprintf "ddm serve: cannot open cache storage: %s\n%!" msg;
+      exit 2
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "ddm serve: cannot open cache storage: %s: %s %s\n%!" (Unix.error_message e)
+        fn arg;
+      exit 2
+    | Error msg ->
+      Printf.eprintf "ddm serve: cannot listen on 127.0.0.1:%d: %s\n%!" port msg;
+      exit 2
+    | Ok t ->
+      Snapring.start ();
+      let stop = Atomic.make false in
+      let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+      (try Sys.set_signal Sys.sigint handler with Invalid_argument _ | Sys_error _ -> ());
+      (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ | Sys_error _ -> ());
+      Printf.printf
+        "serve: listening http://127.0.0.1:%d (POST /eval, GET /cache/stats + obs routes), %d \
+         workers, queue %d%s%s\n\
+         %!"
+        (Serve.port t) workers queue_depth
+        (match cache_dir with Some d -> Printf.sprintf ", cache %s" d | None -> ", memory-only")
+        (match duration with
+        | Some d -> Printf.sprintf ", stopping after %gs" d
+        | None -> "; SIGTERM to drain");
+      let t0 = Unix.gettimeofday () in
+      let expired () =
+        match duration with Some d -> Unix.gettimeofday () -. t0 >= d | None -> false
+      in
+      while (not (Atomic.get stop)) && not (expired ()) do
+        try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      (* graceful drain: stop accepting, finish accepted work, fail the
+         rest explicitly, then exit 0 *)
+      Serve.stop t;
+      Snapring.stop ();
+      Printf.printf "serve: drained and stopped\n%!"
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:"TCP port to bind on 127.0.0.1; 0 (the default) picks an ephemeral port.")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt (pos_int "worker count") Serve.default_config.Serve.workers
+      & info [ "workers" ] ~docv:"N" ~doc:"Solver worker domains.")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt (pos_int "queue depth") Serve.default_config.Serve.queue_depth
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Bounded work-queue watermark; requests beyond it are shed with 429.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (pos_int "budget") Serve.default_config.Serve.default_budget_ms
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:"Default per-request deadline (requests may override with \"budget_ms\").")
+  in
+  let lru_arg =
+    Arg.(
+      value
+      & opt (pos_int "LRU capacity") Serve.default_config.Serve.lru_cap
+      & info [ "lru-cap" ] ~docv:"N" ~doc:"In-memory answer-cache capacity.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persistent answer-cache directory (crash-safe writes; corrupt entries are \
+             quarantined at startup). Default: in-memory only.")
+  in
+  let serve_ledger_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:"JSONL run ledger: one entry per solved request (size-rotated), served at /runs.")
+  in
+  let duration_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "duration" ] ~docv:"SECS"
+          ~doc:"Drain and stop after $(docv) seconds (default: run until SIGINT/SIGTERM).")
+  in
+  let rate name doc =
+    Arg.(value & opt float 0. & info [ name ] ~docv:"RATE" ~doc)
+  in
+  let chaos_slow_arg = rate "chaos-slow" "Chaos: fraction of jobs stalled before solving." in
+  let chaos_slow_s_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "chaos-slow-s" ] ~docv:"SECS" ~doc:"Chaos: length of an injected stall.")
+  in
+  let chaos_panic_arg = rate "chaos-panic" "Chaos: fraction of jobs whose worker dies mid-job." in
+  let chaos_diskfail_arg =
+    rate "chaos-diskfail" "Chaos: fraction of cache writes that tear and fail."
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "chaos-seed" ] ~docv:"SEED" ~doc:"Chaos PRNG seed (runs replay exactly).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Crash-safe, deadline-aware evaluation service: POST /eval answers winning-probability \
+          queries through a two-tier persistent answer cache, a bounded load-shedding work \
+          queue, and a supervised solver-worker pool; SIGTERM drains gracefully.")
+    Term.(
+      const run $ port_arg $ workers_arg $ queue_arg $ budget_arg $ lru_arg $ cache_dir_arg
+      $ serve_ledger_arg $ duration_arg $ chaos_slow_arg $ chaos_slow_s_arg $ chaos_panic_arg
+      $ chaos_diskfail_arg $ chaos_seed_arg)
+
 let () =
   let info =
     Cmd.info "ddm" ~version:"1.0.0"
@@ -1060,5 +1215,5 @@ let () =
        (Cmd.group info
           [
             oblivious_cmd; threshold_cmd; certify_cmd; curve_cmd; eval_cmd; banded_cmd;
-            simulate_cmd; chaos_cmd; tradeoff_cmd; perf_cmd; obs_cmd;
+            simulate_cmd; chaos_cmd; tradeoff_cmd; perf_cmd; obs_cmd; serve_cmd;
           ]))

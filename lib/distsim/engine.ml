@@ -33,9 +33,32 @@ let fatal_exn = function
   | Out_of_memory | Stack_overflow | Assert_failure _ | Sys.Break -> true
   | _ -> false
 
-let retry_under ~deadline_s ?(attempts = 3) ?(default = 0.5) protocol =
+(* Exponential backoff with full jitter: the delay before retry [k]
+   (0-based) is [min max_s (base_s * factor^k)] scaled by a uniform draw
+   in [0.5, 1) when a jitter source is supplied.  A {e seeded} [Rng.t]
+   makes the whole schedule a deterministic function of the seed, so
+   tests can pin it exactly; without [jitter] the schedule is the pure
+   exponential. *)
+let backoff_delay ~base_s ?(factor = 2.) ?max_s ?jitter k =
+  if not (base_s > 0.) then invalid_arg "Engine.backoff_delay: base_s must be positive";
+  if not (factor >= 1.) then invalid_arg "Engine.backoff_delay: factor must be >= 1";
+  if k < 0 then invalid_arg "Engine.backoff_delay: attempt index must be >= 0";
+  let raw = base_s *. (factor ** float_of_int k) in
+  let capped = match max_s with Some m -> Float.min m raw | None -> raw in
+  match jitter with
+  | None -> capped
+  | Some rng -> capped *. (0.5 +. (0.5 *. Rng.float01 rng))
+
+let backoff_schedule ~base_s ?factor ?max_s ?jitter ~attempts () =
+  if attempts < 1 then invalid_arg "Engine.backoff_schedule: attempts must be >= 1";
+  List.init (attempts - 1) (fun k -> backoff_delay ~base_s ?factor ?max_s ?jitter k)
+
+let retry_under ~deadline_s ?(attempts = 3) ?(default = 0.5) ?backoff ?jitter protocol =
   if not (deadline_s > 0.) then invalid_arg "Engine.retry_under: deadline_s must be positive";
   if attempts < 1 then invalid_arg "Engine.retry_under: attempts must be >= 1";
+  (match backoff with
+  | Some b when not (b > 0.) -> invalid_arg "Engine.retry_under: backoff must be positive"
+  | _ -> ());
   Dist_protocol.make
     ~deterministic:(Dist_protocol.is_deterministic protocol)
     ~name:(Printf.sprintf "%s+retry(%d,%.3gs)" (Dist_protocol.name protocol) attempts deadline_s)
@@ -49,7 +72,17 @@ let retry_under ~deadline_s ?(attempts = 3) ?(default = 0.5) protocol =
           if Logx.would_log Logx.Debug then
             Logx.debug "engine.retry"
               [ ("protocol", Logx.Str (Dist_protocol.name protocol)); ("attempt", Logx.Int (k + 1)) ];
-          if k + 1 >= attempts || Trace.now_mono_s () -. start >= deadline_s then begin
+          (* spacing before the next attempt; a delay that would overrun
+             the deadline forfeits the retry instead of sleeping past it *)
+          let delay =
+            match backoff with
+            | None -> 0.
+            | Some base_s -> backoff_delay ~base_s ~max_s:deadline_s ?jitter k
+          in
+          if
+            k + 1 >= attempts
+            || Trace.now_mono_s () -. start +. delay >= deadline_s
+          then begin
             Metrics.incr deadline_exceeded;
             if Logx.would_log Logx.Warn then
               Logx.warn "engine.retry_deadline"
@@ -57,7 +90,11 @@ let retry_under ~deadline_s ?(attempts = 3) ?(default = 0.5) protocol =
                   ("attempts", Logx.Int (k + 1)); ("default", Logx.Float default) ];
             default
           end
-          else go (k + 1)
+          else begin
+            if delay > 0. then (
+              try Unix.sleepf delay with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+            go (k + 1)
+          end
       in
       go 0)
 
@@ -137,7 +174,27 @@ let win_probability_given ~delta pattern protocol inputs =
   in
   go 0 0. 1.
 
-let win_probability_grid ?(points = 64) ~delta pattern protocol =
+exception Cancelled of { cells_done : int; cells_total : int }
+
+(* The cooperative cancellation hook shared by both exact grid
+   integrators: consulted once per cell (the per-cell decision fold costs
+   at least 2^n branch visits, so the extra closure call is noise).  On
+   the first [true] the loop raises with its partial progress, which a
+   deadline-bounded caller (lib/serve) turns into a 504 with
+   partial-progress metadata. *)
+let cancel_check ~where cancel done_cells total =
+  match cancel with
+  | None -> fun () -> ()
+  | Some c ->
+    fun () ->
+      if c () then begin
+        if Logx.would_log Logx.Warn then
+          Logx.warn (where ^ ".cancelled")
+            [ ("cells_done", Logx.Int !done_cells); ("cells_total", Logx.Int total) ];
+        raise (Cancelled { cells_done = !done_cells; cells_total = total })
+      end
+
+let win_probability_grid ?(points = 64) ?cancel ~delta pattern protocol =
   let n = Comm_pattern.n pattern in
   if points < 2 then
     invalid_arg (Printf.sprintf "Engine.win_probability_grid: points = %d (need >= 2)" points);
@@ -155,8 +212,14 @@ let win_probability_grid ?(points = 64) ~delta pattern protocol =
         ("points", Logx.Int points); ("cells", Logx.Float cells) ];
   let inputs = Array.make n 0. in
   let acc = ref 0. in
+  let done_cells = ref 0 in
+  let check = cancel_check ~where:"engine.grid" cancel done_cells (int_of_float cells) in
   let rec loop dim =
-    if dim = n then acc := !acc +. win_probability_given ~delta pattern protocol inputs
+    if dim = n then begin
+      check ();
+      acc := !acc +. win_probability_given ~delta pattern protocol inputs;
+      incr done_cells
+    end
     else
       for k = 0 to points - 1 do
         inputs.(dim) <- (float_of_int k +. 0.5) /. float_of_int points;

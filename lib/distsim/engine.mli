@@ -16,16 +16,49 @@ type outcome = {
 val views : Comm_pattern.t -> float array -> Dist_protocol.view array
 (** The per-player views induced by a pattern on a given input vector. *)
 
-val retry_under : deadline_s:float -> ?attempts:int -> ?default:float -> Dist_protocol.t -> Dist_protocol.t
+val backoff_delay :
+  base_s:float -> ?factor:float -> ?max_s:float -> ?jitter:Rng.t -> int -> float
+(** Exponential backoff with full jitter: the delay before retry [k]
+    (0-based) is [min max_s (base_s * factor^k)] (default [factor] 2, no
+    cap), scaled by a uniform draw in [0.5, 1) when [jitter] is given.  A
+    seeded jitter source makes the schedule a deterministic function of
+    the seed.
+    @raise Invalid_argument on non-positive [base_s], [factor < 1], or a
+    negative index. *)
+
+val backoff_schedule :
+  base_s:float -> ?factor:float -> ?max_s:float -> ?jitter:Rng.t -> attempts:int -> unit -> float list
+(** The [attempts - 1] inter-attempt delays {!retry_under} would use —
+    [backoff_delay] at indices [0 .. attempts-2].  Exposed so tests can
+    pin the exact schedule for a given seed. *)
+
+val retry_under :
+  deadline_s:float ->
+  ?attempts:int ->
+  ?default:float ->
+  ?backoff:float ->
+  ?jitter:Rng.t ->
+  Dist_protocol.t ->
+  Dist_protocol.t
 (** Deadline-bounded evaluation: re-invoke a decide rule that raised or
     returned a non-finite value, up to [attempts] (default 3) tries and a
     wall-clock budget of [deadline_s] seconds per decision, then give up
     and answer [default] (0.5). Fatal exceptions ([Out_of_memory],
     [Stack_overflow], [Assert_failure], [Sys.Break]) are re-raised rather
-    than retried or converted into the fallback. Retries are counted in
-    [ddm_faults_retries_total] and abandoned decisions in
-    [ddm_faults_deadline_exceeded_total].
-    @raise Invalid_argument on a non-positive deadline or attempt count. *)
+    than retried or converted into the fallback.
+
+    [backoff] spaces the retries: the delay before retry [k] is
+    [backoff_delay ~base_s:backoff ~max_s:deadline_s ?jitter k]
+    (exponential, capped at the deadline, jittered by the seeded [jitter]
+    source when given so schedules stay deterministic under test).  A
+    delay that would overrun the deadline forfeits the retry instead of
+    sleeping past it.  Without [backoff] retries are immediate (the
+    historical behavior).
+
+    Retries are counted in [ddm_faults_retries_total] and abandoned
+    decisions in [ddm_faults_deadline_exceeded_total].
+    @raise Invalid_argument on a non-positive deadline, attempt count, or
+    backoff base. *)
 
 val run_once :
   ?sampler:(Rng.t -> float) -> Rng.t -> delta:float -> Comm_pattern.t -> Dist_protocol.t -> outcome
@@ -52,11 +85,29 @@ val win_probability_given : delta:float -> Comm_pattern.t -> Dist_protocol.t -> 
     [[0,1]] are clamped; a non-finite one raises [Invalid_argument] rather
     than silently poisoning grid integrals with NaN. *)
 
+exception Cancelled of { cells_done : int; cells_total : int }
+(** Raised out of a grid integration when its [cancel] hook fires,
+    carrying how far the sweep got — the partial-progress metadata a
+    deadline-bounded service reports with its 504. *)
+
+val cancel_check : where:string -> (unit -> bool) option -> int ref -> int -> unit -> unit
+(** [cancel_check ~where cancel done_cells total] builds the per-cell
+    cancellation probe shared by the exact grid integrators (including
+    {!Fault_engine.win_probability_grid}): a no-op for [None], otherwise a
+    thunk that raises {!Cancelled} with the current progress when the hook
+    returns [true].  Exposed for the fault-engine mirror; not meant for
+    direct use. *)
+
 val win_probability_grid :
-  ?points:int -> delta:float -> Comm_pattern.t -> Dist_protocol.t -> float
+  ?points:int -> ?cancel:(unit -> bool) -> delta:float -> Comm_pattern.t -> Dist_protocol.t -> float
 (** Midpoint-rule integration of {!win_probability_given} over [[0,1]^n];
     default 64 points per dimension. Deterministic, so usable inside
-    optimizers. @raise Invalid_argument when [points^n] exceeds [10^8]. *)
+    optimizers.  [cancel] is a cooperative cancellation hook consulted
+    once per cell; when it returns [true] the sweep raises {!Cancelled}
+    with its progress (this is how per-request deadlines reach into the
+    exact pipeline — see lib/serve).
+    @raise Invalid_argument when [points^n] exceeds [10^8].
+    @raise Cancelled when [cancel] fires mid-sweep. *)
 
 val optimize_family :
   ?points:int ->

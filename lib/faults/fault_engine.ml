@@ -219,7 +219,7 @@ let win_probability_given ~faults:(m : Fault_model.t) ~delta pattern protocol in
   done;
   !acc
 
-let win_probability_grid ?(points = 64) ~faults ~delta pattern protocol =
+let win_probability_grid ?(points = 64) ?cancel ~faults ~delta pattern protocol =
   require_foldable "win_probability_grid" faults;
   let n = Comm_pattern.n pattern in
   if points < 2 then
@@ -238,8 +238,16 @@ let win_probability_grid ?(points = 64) ~faults ~delta pattern protocol =
         ("points", Logx.Int points); ("cells", Logx.Float cells) ];
   let inputs = Array.make n 0. in
   let acc = ref 0. in
+  let done_cells = ref 0 in
+  (* same cooperative-cancellation contract as Engine.win_probability_grid:
+     raises Engine.Cancelled with the sweep's partial progress *)
+  let check = Engine.cancel_check ~where:"faults.grid" cancel done_cells (int_of_float cells) in
   let rec loop dim =
-    if dim = n then acc := !acc +. win_probability_given ~faults ~delta pattern protocol inputs
+    if dim = n then begin
+      check ();
+      acc := !acc +. win_probability_given ~faults ~delta pattern protocol inputs;
+      incr done_cells
+    end
     else
       for k = 0 to points - 1 do
         inputs.(dim) <- (float_of_int k +. 0.5) /. float_of_int points;

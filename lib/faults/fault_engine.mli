@@ -62,10 +62,19 @@ val win_probability_given :
     only the crash dimension folds; estimate the rest by Monte-Carlo. *)
 
 val win_probability_grid :
-  ?points:int -> faults:Fault_model.t -> delta:float -> Comm_pattern.t -> Dist_protocol.t -> float
+  ?points:int ->
+  ?cancel:(unit -> bool) ->
+  faults:Fault_model.t ->
+  delta:float ->
+  Comm_pattern.t ->
+  Dist_protocol.t ->
+  float
 (** Midpoint-rule integration of {!win_probability_given} over [[0,1]^n]
     (default 64 points per dimension), exact up to the grid — the
     fault-model analogue of {!Engine.win_probability_grid}, and equal to
-    it at crash rate 0.
+    it at crash rate 0.  [cancel] is the same per-cell cooperative
+    cancellation hook: when it returns [true] the sweep raises
+    {!Engine.Cancelled} with its partial progress.
     @raise Invalid_argument when the model is not crash-foldable or the
-    grid exceeds [10^8] cells. *)
+    grid exceeds [10^8] cells.
+    @raise Engine.Cancelled when [cancel] fires mid-sweep. *)

@@ -206,7 +206,27 @@ let of_json json =
 
 (* ------------------------------- file IO ------------------------------- *)
 
-let append ~file e =
+let rotated_name file = file ^ ".1"
+
+(* Size-triggered rotation: when the ledger has grown past [rotate_above]
+   bytes, the current file is atomically renamed to [file ^ ".1"]
+   (replacing the previous generation) and the entry starts a fresh file.
+   At most two generations ever exist, so a long-running server bounds its
+   ledger footprint at ~2x the threshold.  The rename is a single
+   same-directory [Sys.rename], so a crash leaves either the old or the
+   new layout — never a half-moved file. *)
+let maybe_rotate ~rotate_above file =
+  match rotate_above with
+  | None -> ()
+  | Some limit -> (
+    match (Unix.stat file).Unix.st_size with
+    | size when size >= limit && limit > 0 -> (
+      try Sys.rename file (rotated_name file) with Sys_error _ -> ())
+    | _ -> ()
+    | exception Unix.Unix_error _ -> ())
+
+let append ?rotate_above ~file e =
+  maybe_rotate ~rotate_above file;
   let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 file in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -235,6 +255,14 @@ let load ~file =
            done
          with End_of_file -> ());
         (List.rev !entries, !skipped))
+
+(* [load] across the rotation boundary: the previous generation first, so
+   entries stay in chronological order and a tail of the concatenation is
+   the true most-recent history. *)
+let load_rotated ~file =
+  let old_entries, old_skipped = load ~file:(rotated_name file) in
+  let entries, skipped = load ~file in
+  (old_entries @ entries, old_skipped + skipped)
 
 (* ----------------------------- recording ----------------------------- *)
 

@@ -56,14 +56,26 @@ type entry = {
 val to_json : entry -> Jsonx.t
 val of_json : Jsonx.t -> (entry, string) result
 
-val append : file:string -> entry -> unit
-(** Append one line, creating the file if needed.
+val append : ?rotate_above:int -> file:string -> entry -> unit
+(** Append one line, creating the file if needed.  When [rotate_above] is
+    given and the file has already reached that many bytes, it is first
+    atomically renamed to [file ^ ".1"] (replacing any previous
+    generation), so the ledger's on-disk footprint stays bounded at about
+    twice the threshold.
     @raise Sys_error when the file cannot be opened for writing. *)
 
 val load : file:string -> entry list * int
 (** All well-formed entries in file order, plus the number of skipped
     (unparseable or wrong-schema) lines.  A missing file loads as
     [([], 0)]. *)
+
+val rotated_name : string -> string
+(** [file ^ ".1"], the single previous generation kept by rotation. *)
+
+val load_rotated : file:string -> entry list * int
+(** {!load} across the rotation boundary: entries of [file ^ ".1"] (older)
+    followed by entries of [file], skip counts summed.  Missing files load
+    as empty, so this is a drop-in superset of {!load}. *)
 
 val entry_of_run :
   command:string ->

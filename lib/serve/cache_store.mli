@@ -1,0 +1,63 @@
+(** Persistent answer cache — the durable tier behind {!Lru}.
+
+    One file per entry under a cache directory, named by the FNV-1a 64
+    hash of the cache key.  Each file carries its own integrity header:
+
+    {v ddm.cache/v1 <fnv64-of-payload, 16 hex> <payload-bytes>\n
+<payload JSON>\n v}
+
+    where the payload is [{"key": <cache key>, "value": <answer>}] — the
+    full key is stored so hash collisions are detected (a colliding entry
+    reads as a miss and is overwritten by the next fill, never returned
+    for the wrong key).
+
+    Writes are crash-safe: payload goes to a [.tmp-*] file first, is
+    [fsync]ed, then atomically renamed over the final name, and the
+    directory is fsynced — a hard kill leaves either the old entry, the
+    new entry, or a torn temp file, never a torn entry under the final
+    name.  {!open_store} recovers from exactly those states: torn temps
+    are deleted, entries that fail the length/checksum/JSON validation
+    are moved aside into [quarantine/] (kept for inspection, never
+    served), and everything else is indexed.
+
+    Thread-safe (one internal mutex); reads re-validate the checksum on
+    every hit, so on-disk corruption detected after open is quarantined
+    at read time instead of being served. *)
+
+type t
+
+type report = {
+  loaded : int;  (** valid entries indexed at open *)
+  quarantined : int;  (** corrupt entries moved to [quarantine/] at open *)
+  tmp_removed : int;  (** torn temp files deleted at open *)
+}
+
+val fnv64 : string -> string
+(** FNV-1a 64-bit hash, 16 lowercase hex digits — the per-entry checksum
+    and the entry filename stem. *)
+
+val open_store : dir:string -> t * report
+(** Create [dir] (and [dir/quarantine]) if needed, then run crash
+    recovery over its contents.
+    @raise Sys_error / [Unix.Unix_error] when the directory cannot be
+    created or scanned. *)
+
+val dir : t -> string
+val entries : t -> int
+(** Currently indexed (servable) entries. *)
+
+val quarantined_total : t -> int
+(** Entries quarantined since open (including the open-time sweep). *)
+
+val find : t -> string -> Jsonx.t option
+(** Re-reads and re-validates the entry file; a corrupt or
+    hash-colliding file is a miss (corrupt ones are quarantined). *)
+
+val put : ?chaos_fail:bool -> t -> key:string -> Jsonx.t -> unit
+(** Durably store [key -> value] (tmp + fsync + atomic rename + dir
+    fsync).  [chaos_fail:true] injects a disk-write fault: the write
+    aborts halfway through the temp file and raises [Sys_error], leaving
+    exactly the torn-temp state that {!open_store} must clean — the
+    chaos harness's disk-failure mode.
+    @raise Sys_error on write failure (injected or real); the previous
+    entry for the key, if any, is untouched. *)

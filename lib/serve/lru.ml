@@ -1,0 +1,71 @@
+(* Classic hashtable + doubly-linked recency list.  [head] is the
+   most-recently-used end, [tail] the eviction end.  All public entry
+   points take the mutex; the list splices are a handful of pointer
+   writes, so contention between the handler domain and the workers is
+   negligible next to a solve. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* towards head / more recent *)
+  mutable next : 'a node option;  (* towards tail / less recent *)
+}
+
+type 'a t = {
+  mu : Mutex.t;
+  table : (string, 'a node) Hashtbl.t;
+  capacity : int;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable evicted : int;
+}
+
+let create ~cap =
+  if cap < 1 then invalid_arg "Lru.create: cap must be >= 1";
+  { mu = Mutex.create (); table = Hashtbl.create 64; capacity = cap; head = None; tail = None;
+    evicted = 0 }
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some nx -> nx.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.prev <- None;
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  Mutex.protect t.mu (fun () ->
+    match Hashtbl.find_opt t.table key with
+    | None -> None
+    | Some node ->
+      unlink t node;
+      push_front t node;
+      Some node.value)
+
+let put t key value =
+  Mutex.protect t.mu (fun () ->
+    match Hashtbl.find_opt t.table key with
+    | Some node ->
+      node.value <- value;
+      unlink t node;
+      push_front t node
+    | None ->
+      if Hashtbl.length t.table >= t.capacity then begin
+        match t.tail with
+        | Some victim ->
+          unlink t victim;
+          Hashtbl.remove t.table victim.key;
+          t.evicted <- t.evicted + 1
+        | None -> ()
+      end;
+      let node = { key; value; prev = None; next = None } in
+      Hashtbl.replace t.table key node;
+      push_front t node)
+
+let size t = Mutex.protect t.mu (fun () -> Hashtbl.length t.table)
+let cap t = t.capacity
+let evictions t = Mutex.protect t.mu (fun () -> t.evicted)

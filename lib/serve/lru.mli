@@ -1,0 +1,24 @@
+(** Bounded in-memory LRU map — the hot tier of the serve answer cache.
+
+    String-keyed, thread-safe (one internal mutex; operations are O(1)
+    hashtable + doubly-linked-list splices, so the critical sections are
+    tiny).  {!find} promotes to most-recently-used; {!put} at capacity
+    evicts the least-recently-used entry.  Shared between the HTTP
+    handler domain (lookups) and the solver worker domains (fills). *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+(** @raise Invalid_argument when [cap < 1]. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit becomes the most-recently-used entry. *)
+
+val put : 'a t -> string -> 'a -> unit
+(** Insert or overwrite; the entry becomes most-recently-used.  At
+    capacity the least-recently-used entry is evicted first. *)
+
+val size : 'a t -> int
+val cap : 'a t -> int
+val evictions : 'a t -> int
+(** Entries evicted to make room since creation. *)

@@ -1,0 +1,613 @@
+(* The serve orchestrator: admission on the Httpd domain, a supervised
+   pool of solver domains, and a watchdog that keeps the pool at
+   strength.  The one invariant everything here defends: every accepted
+   request gets exactly one terminal response — enforced by a per-job
+   atomic CAS, with the watchdog and the drain path answering for
+   workers that cannot. *)
+
+let m_requests = Metrics.counter ~help:"Eval requests received" "ddm_serve_requests_total"
+let m_shed = Metrics.counter ~help:"Eval requests shed at the queue watermark" "ddm_serve_shed_total"
+let m_hits = Metrics.counter ~help:"Answer-cache hits (both tiers)" "ddm_serve_cache_hits_total"
+let m_misses = Metrics.counter ~help:"Answer-cache misses" "ddm_serve_cache_misses_total"
+
+let m_responses =
+  Metrics.counter ~help:"Terminal responses sent for accepted eval jobs" "ddm_serve_responses_total"
+
+let m_deadline =
+  Metrics.counter ~help:"Eval jobs that expired their deadline budget"
+    "ddm_serve_deadline_expired_total"
+
+let m_respawns =
+  Metrics.counter ~help:"Solver workers respawned by the watchdog" "ddm_serve_worker_respawns_total"
+
+let m_write_failures =
+  Metrics.counter ~help:"Durable cache writes that failed" "ddm_serve_cache_write_failures_total"
+
+type chaos = {
+  slow_rate : float;
+  slow_s : float;
+  panic_rate : float;
+  diskfail_rate : float;
+  seed : int;
+}
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_depth : int;
+  default_budget_ms : int;
+  stuck_grace_s : float;
+  lru_cap : int;
+  cache_dir : string option;
+  ledger_file : string option;
+  ledger_rotate_bytes : int;
+  drain_deadline_s : float;
+  limits : Httpd.limits;
+  chaos : chaos option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    workers = 2;
+    queue_depth = 64;
+    default_budget_ms = 5_000;
+    stuck_grace_s = 0.5;
+    lru_cap = 256;
+    cache_dir = None;
+    ledger_file = None;
+    ledger_rotate_bytes = 4 * 1024 * 1024;
+    drain_deadline_s = 5.0;
+    limits = Httpd.default_limits;
+    chaos = None;
+  }
+
+type job = {
+  id : int;
+  jreq : Solver.req;
+  key : string;
+  client : Unix.file_descr;
+  budget_ms : int;
+  deadline_mono_s : float;
+  responded : bool Atomic.t;
+}
+
+type worker = {
+  wid : int;
+  alive : bool Atomic.t;  (** cleared by the worker itself on any exit *)
+  superseded : bool Atomic.t;  (** set by the supervisor: finish silently and exit *)
+  current : job option Atomic.t;
+}
+
+type t = {
+  cfg : config;
+  mutable httpd : Httpd.server option;
+  queue : job Workq.t;
+  lru : Solver.answer Lru.t;
+  disk : Cache_store.t option;
+  recovery : Cache_store.report option;
+  chaos_mu : Mutex.t;
+  chaos_rng : Rng.t option;
+  ledger_mu : Mutex.t;
+  draining : bool Atomic.t;
+  next_id : int Atomic.t;
+  next_wid : int Atomic.t;
+  pool_mu : Mutex.t;
+  mutable pool : (worker * unit Domain.t) list;
+  mutable zombies : unit Domain.t list;  (** superseded domains still finishing a solve *)
+  watchdog_stop : bool Atomic.t;
+  mutable watchdog : unit Domain.t option;
+  started_mono_s : float;
+  (* terminal-response accounting (exact, independent of the metrics switch) *)
+  c_requests : int Atomic.t;
+  c_accepted : int Atomic.t;
+  c_shed : int Atomic.t;
+  c_hits_lru : int Atomic.t;
+  c_hits_disk : int Atomic.t;
+  c_misses : int Atomic.t;
+  c_inline : int Atomic.t;  (** terminal responses written by the handler *)
+  c_deferred : int Atomic.t;  (** terminal responses written for accepted jobs *)
+  c_suppressed : int Atomic.t;  (** late/duplicate response attempts never sent *)
+  c_deadline : int Atomic.t;
+  c_solved : int Atomic.t;
+  c_panics : int Atomic.t;
+  c_respawns : int Atomic.t;
+  c_write_failures : int Atomic.t;
+}
+
+(* ------------------------------ bodies ------------------------------ *)
+
+let eval_schema = "ddm.eval/v1"
+
+let answer_body ?(extra = []) ~cached ~source ~key (a : Solver.answer) =
+  Jsonx.to_string
+    (Jsonx.Obj
+       ([ ("schema", Jsonx.Str eval_schema); ("cached", Jsonx.Bool cached);
+          ("source", Jsonx.Str source); ("key", Jsonx.Str key); ("p", Jsonx.Num a.Solver.p) ]
+       @ a.Solver.detail @ extra))
+
+let error_body ?(extra = []) error =
+  Jsonx.to_string
+    (Jsonx.Obj ([ ("schema", Jsonx.Str eval_schema); ("error", Jsonx.Str error) ] @ extra))
+
+let progress_fields ~cells_done ~cells_total =
+  [ ( "progress",
+      Jsonx.Obj
+        [ ("cells_done", Jsonx.Num (float_of_int cells_done));
+          ("cells_total", Jsonx.Num (float_of_int cells_total)) ] ) ]
+
+(* ------------------------- chaos and caching ------------------------ *)
+
+let chaos_draw t rate =
+  rate > 0.
+  &&
+  match t.chaos_rng with
+  | None -> false
+  | Some rng -> Mutex.protect t.chaos_mu (fun () -> Rng.bernoulli rng rate)
+
+let cache_find t key =
+  match Lru.find t.lru key with
+  | Some a -> Some ("lru", a)
+  | None -> (
+    match t.disk with
+    | None -> None
+    | Some store -> (
+      match Cache_store.find store key with
+      | None -> None
+      | Some j -> (
+        match Solver.answer_of_json j with
+        | Ok a ->
+          Lru.put t.lru key a;  (* promote to the hot tier *)
+          Some ("disk", a)
+        | Error _ -> None)))
+
+let cache_fill t key answer =
+  Lru.put t.lru key answer;
+  match t.disk with
+  | None -> ()
+  | Some store -> (
+    let chaos_fail = chaos_draw t (match t.cfg.chaos with Some c -> c.diskfail_rate | None -> 0.) in
+    try Cache_store.put ~chaos_fail store ~key (Solver.answer_to_json answer)
+    with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+      (* durability is best-effort per fill; the answer still goes out *)
+      Atomic.incr t.c_write_failures;
+      Metrics.incr m_write_failures;
+      if Logx.would_log Logx.Warn then
+        Logx.warn "serve.cache_write_failed" [ ("key", Logx.Str key); ("error", Logx.Str msg) ])
+
+let ledger_note t job ~wall_s =
+  match t.cfg.ledger_file with
+  | None -> ()
+  | Some file ->
+    let gc = Ledger.gc_now () in
+    let entry =
+      {
+        Ledger.timestamp_s = Unix.gettimeofday ();
+        command = "serve.eval";
+        argv = [ job.key ];
+        seed = None;
+        rev = None;
+        wall_seconds = wall_s;
+        gc = Ledger.gc_delta ~before:gc ~after:gc;
+        metrics = Jsonx.Null;
+      }
+    in
+    Mutex.protect t.ledger_mu (fun () ->
+      try Ledger.append ~rotate_above:t.cfg.ledger_rotate_bytes ~file entry
+      with Sys_error _ -> ())
+
+(* -------------------------- exactly-once ---------------------------- *)
+
+let respond_once t job resp =
+  if Atomic.compare_and_set job.responded false true then begin
+    (* count before writing: a client that has seen its terminal response
+       must find it already reflected in the stats *)
+    Atomic.incr t.c_deferred;
+    Metrics.incr m_responses;
+    Httpd.send_response job.client resp;
+    true
+  end
+  else begin
+    Atomic.incr t.c_suppressed;
+    false
+  end
+
+(* ------------------------------ workers ----------------------------- *)
+
+let run_job t job =
+  let now = Trace.now_mono_s () in
+  if now >= job.deadline_mono_s then begin
+    (* expired while queued: terminal 504 without starting the solve *)
+    Atomic.incr t.c_deadline;
+    Metrics.incr m_deadline;
+    ignore
+      (respond_once t job
+         (Httpd.json ~status:504
+            (error_body "deadline"
+               ~extra:
+                 (("budget_ms", Jsonx.Num (float_of_int job.budget_ms))
+                 :: ("stage", Jsonx.Str "queued")
+                 :: progress_fields ~cells_done:0 ~cells_total:0))))
+  end
+  else begin
+    (match t.cfg.chaos with
+    | Some c when chaos_draw t c.slow_rate ->
+      (try Unix.sleepf c.slow_s with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | _ -> ());
+    match Solver.solve ~deadline_mono_s:job.deadline_mono_s job.jreq with
+    | answer ->
+      let wall_s = Trace.now_mono_s () -. now in
+      Atomic.incr t.c_solved;
+      cache_fill t job.key answer;
+      ignore
+        (respond_once t job
+           (Httpd.json
+              (answer_body ~cached:false ~source:"solver" ~key:job.key answer
+                 ~extra:[ ("wall_ms", Jsonx.Num (wall_s *. 1000.)) ])));
+      ledger_note t job ~wall_s
+    | exception Engine.Cancelled { cells_done; cells_total } ->
+      Atomic.incr t.c_deadline;
+      Metrics.incr m_deadline;
+      ignore
+        (respond_once t job
+           (Httpd.json ~status:504
+              (error_body "deadline"
+                 ~extra:
+                   (("budget_ms", Jsonx.Num (float_of_int job.budget_ms))
+                   :: ("stage", Jsonx.Str "solving")
+                   :: progress_fields ~cells_done ~cells_total))))
+    | exception Invalid_argument msg ->
+      ignore (respond_once t job (Httpd.json ~status:400 (error_body msg)))
+  end
+
+let rec worker_loop t w =
+  if Atomic.get w.superseded then ()
+  else
+    match Workq.pop t.queue ~timeout_s:0.05 with
+    | Workq.Drained -> ()
+    | Workq.Empty -> worker_loop t w
+    | Workq.Job job ->
+      Atomic.set w.current (Some job);
+      (* chaos: the worker domain dies mid-job — the watchdog must answer
+         for the orphan and respawn the pool *)
+      (match t.cfg.chaos with
+      | Some c when chaos_draw t c.panic_rate ->
+        Atomic.incr t.c_panics;
+        failwith "injected worker panic"
+      | _ -> ());
+      run_job t job;
+      Atomic.set w.current None;
+      worker_loop t w
+
+let worker_main t w () =
+  (try worker_loop t w
+   with e ->
+     if Logx.would_log Logx.Warn then
+       Logx.warn "serve.worker_died"
+         [ ("worker", Logx.Int w.wid); ("exn", Logx.Str (Printexc.to_string e)) ]);
+  Atomic.set w.alive false
+
+let spawn_worker t =
+  let w =
+    {
+      wid = Atomic.fetch_and_add t.next_wid 1;
+      alive = Atomic.make true;
+      superseded = Atomic.make false;
+      current = Atomic.make None;
+    }
+  in
+  (w, Domain.spawn (worker_main t w))
+
+(* ------------------------------ watchdog ---------------------------- *)
+
+let orphan_response t job ~reason ~status =
+  if status = 504 then begin
+    Atomic.incr t.c_deadline;
+    Metrics.incr m_deadline
+  end;
+  ignore
+    (respond_once t job
+       (Httpd.json ~status
+          (error_body reason ~extra:[ ("budget_ms", Jsonx.Num (float_of_int job.budget_ms)) ])))
+
+let supervise_once t =
+  let now = Trace.now_mono_s () in
+  Mutex.protect t.pool_mu (fun () ->
+    let keep =
+      List.filter_map
+        (fun (w, d) ->
+          if not (Atomic.get w.alive) then begin
+            (* worker died (panic or solver bug): answer its orphan so the
+               client is not left hanging, then recycle the slot *)
+            (match Atomic.get w.current with
+            | Some job ->
+              Atomic.set w.current None;
+              orphan_response t job ~reason:"worker_failure" ~status:500
+            | None -> ());
+            (try Domain.join d with _ -> ());
+            None
+          end
+          else
+            match Atomic.get w.current with
+            | Some job when now > job.deadline_mono_s +. t.cfg.stuck_grace_s ->
+              (* wedged in an un-cancellable pipeline well past its
+                 deadline: answer 504 on its behalf, supersede it (it
+                 exits silently when the solve returns) and re-staff *)
+              orphan_response t job ~reason:"deadline" ~status:504;
+              Atomic.set w.current None;
+              Atomic.set w.superseded true;
+              t.zombies <- d :: t.zombies;
+              if Logx.would_log Logx.Warn then
+                Logx.warn "serve.worker_superseded" [ ("worker", Logx.Int w.wid) ];
+              None
+            | _ -> Some (w, d))
+        t.pool
+    in
+    let missing = t.cfg.workers - List.length keep in
+    let fresh = List.init (max 0 missing) (fun _ -> spawn_worker t) in
+    if missing > 0 then begin
+      Atomic.fetch_and_add t.c_respawns missing |> ignore;
+      Metrics.add m_respawns missing;
+      if Logx.would_log Logx.Info then
+        Logx.info "serve.worker_respawned" [ ("count", Logx.Int missing) ]
+    end;
+    t.pool <- keep @ fresh)
+
+let watchdog_main t () =
+  while not (Atomic.get t.watchdog_stop) do
+    (try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    if not (Atomic.get t.watchdog_stop) then supervise_once t
+  done
+
+(* ------------------------------- stats ------------------------------ *)
+
+let stats_json t =
+  let i name a = (name, Jsonx.Num (float_of_int (Atomic.get a))) in
+  let hits = Atomic.get t.c_hits_lru + Atomic.get t.c_hits_disk in
+  let looked = hits + Atomic.get t.c_misses in
+  let hit_rate = if looked = 0 then 0. else float_of_int hits /. float_of_int looked in
+  let disk =
+    match t.disk with
+    | None -> Jsonx.Null
+    | Some store ->
+      let recovery =
+        match t.recovery with
+        | None -> Jsonx.Null
+        | Some r ->
+          Jsonx.Obj
+            [ ("loaded", Jsonx.Num (float_of_int r.Cache_store.loaded));
+              ("quarantined", Jsonx.Num (float_of_int r.Cache_store.quarantined));
+              ("tmp_removed", Jsonx.Num (float_of_int r.Cache_store.tmp_removed)) ]
+      in
+      Jsonx.Obj
+        [ ("dir", Jsonx.Str (Cache_store.dir store));
+          ("entries", Jsonx.Num (float_of_int (Cache_store.entries store)));
+          ("quarantined", Jsonx.Num (float_of_int (Cache_store.quarantined_total store)));
+          ("recovery", recovery) ]
+  in
+  Jsonx.to_string
+    (Jsonx.Obj
+       [ ("schema", Jsonx.Str "ddm.cache.stats/v1");
+         ("uptime_s", Jsonx.Num (Trace.now_mono_s () -. t.started_mono_s));
+         ("draining", Jsonx.Bool (Atomic.get t.draining));
+         i "requests" t.c_requests;
+         i "accepted" t.c_accepted;
+         i "shed" t.c_shed;
+         ( "cache",
+           Jsonx.Obj
+             [ i "hits_lru" t.c_hits_lru; i "hits_disk" t.c_hits_disk; i "misses" t.c_misses;
+               ("hit_rate", Jsonx.Num hit_rate);
+               ( "lru",
+                 Jsonx.Obj
+                   [ ("size", Jsonx.Num (float_of_int (Lru.size t.lru)));
+                     ("cap", Jsonx.Num (float_of_int (Lru.cap t.lru)));
+                     ("evictions", Jsonx.Num (float_of_int (Lru.evictions t.lru))) ] );
+               ("disk", disk) ] );
+         ( "terminal",
+           Jsonx.Obj
+             [ i "inline" t.c_inline; i "deferred" t.c_deferred; i "suppressed" t.c_suppressed ] );
+         i "deadline_expired" t.c_deadline;
+         i "solved" t.c_solved;
+         ( "queue",
+           Jsonx.Obj
+             [ ("depth", Jsonx.Num (float_of_int (Workq.depth t.queue)));
+               ("watermark", Jsonx.Num (float_of_int (Workq.watermark t.queue))) ] );
+         ( "workers",
+           Jsonx.Obj
+             [ ("pool", Jsonx.Num (float_of_int (Mutex.protect t.pool_mu (fun () -> List.length t.pool))));
+               i "panics" t.c_panics; i "respawns" t.c_respawns ] );
+         i "cache_write_failures" t.c_write_failures ])
+
+(* ----------------------------- admission ---------------------------- *)
+
+let retry_after = [ ("Retry-After", "1") ]
+
+let inline t resp =
+  Atomic.incr t.c_inline;
+  Httpd.Respond resp
+
+let handle_eval t (req : Httpd.request) =
+  Atomic.incr t.c_requests;
+  Metrics.incr m_requests;
+  if Atomic.get t.draining then
+    inline t (Httpd.json ~status:503 ~headers:retry_after (error_body "draining"))
+  else
+    match Solver.parse req.Httpd.req_body with
+    | Error e -> inline t (Httpd.json ~status:400 (error_body e))
+    | Ok r -> (
+      let key = Solver.cache_key r in
+      match cache_find t key with
+      | Some (source, answer) ->
+        Atomic.incr (if source = "lru" then t.c_hits_lru else t.c_hits_disk);
+        Metrics.incr m_hits;
+        inline t (Httpd.json (answer_body ~cached:true ~source ~key answer))
+      | None -> (
+        Atomic.incr t.c_misses;
+        Metrics.incr m_misses;
+        let budget_ms = Option.value r.Solver.budget_ms ~default:t.cfg.default_budget_ms in
+        let job =
+          {
+            id = Atomic.fetch_and_add t.next_id 1;
+            jreq = r;
+            key;
+            client = req.Httpd.client;
+            budget_ms;
+            deadline_mono_s = Trace.now_mono_s () +. (float_of_int budget_ms /. 1000.);
+            responded = Atomic.make false;
+          }
+        in
+        match Workq.push t.queue job with
+        | Workq.Accepted _depth ->
+          Atomic.incr t.c_accepted;
+          Httpd.Deferred
+        | Workq.Shed ->
+          Atomic.incr t.c_shed;
+          Metrics.incr m_shed;
+          inline t
+            (Httpd.json ~status:429 ~headers:retry_after
+               (error_body "overloaded"
+                  ~extra:[ ("queue_depth", Jsonx.Num (float_of_int (Workq.depth t.queue))) ]))
+        | Workq.Closed ->
+          inline t (Httpd.json ~status:503 ~headers:retry_after (error_body "draining"))))
+
+let handler t (req : Httpd.request) =
+  match (req.Httpd.meth, req.Httpd.path) with
+  | "POST", "/eval" -> handle_eval t req
+  | ("GET" | "HEAD"), "/cache/stats" -> Httpd.Respond (Httpd.json (stats_json t))
+  | _ -> Httpd.Pass
+
+(* ---------------------------- lifecycle ----------------------------- *)
+
+let validate cfg =
+  if cfg.workers < 1 then invalid_arg "Serve.start: workers must be >= 1";
+  if cfg.queue_depth < 1 then invalid_arg "Serve.start: queue_depth must be >= 1";
+  if cfg.default_budget_ms < 1 then invalid_arg "Serve.start: default_budget_ms must be >= 1";
+  if not (cfg.stuck_grace_s > 0.) then invalid_arg "Serve.start: stuck_grace_s must be positive";
+  if cfg.lru_cap < 1 then invalid_arg "Serve.start: lru_cap must be >= 1";
+  if not (cfg.drain_deadline_s > 0.) then
+    invalid_arg "Serve.start: drain_deadline_s must be positive"
+
+let start cfg =
+  validate cfg;
+  let disk, recovery =
+    match cfg.cache_dir with
+    | None -> (None, None)
+    | Some dir ->
+      let store, report = Cache_store.open_store ~dir in
+      if Logx.would_log Logx.Info then
+        Logx.info "serve.cache_recovered"
+          [ ("loaded", Logx.Int report.Cache_store.loaded);
+            ("quarantined", Logx.Int report.Cache_store.quarantined);
+            ("tmp_removed", Logx.Int report.Cache_store.tmp_removed) ];
+      (Some store, Some report)
+  in
+  let t =
+    {
+      cfg;
+      httpd = None;
+      queue = Workq.create ~depth:cfg.queue_depth;
+      lru = Lru.create ~cap:cfg.lru_cap;
+      disk;
+      recovery;
+      chaos_mu = Mutex.create ();
+      chaos_rng = Option.map (fun c -> Rng.create ~seed:c.seed) cfg.chaos;
+      ledger_mu = Mutex.create ();
+      draining = Atomic.make false;
+      next_id = Atomic.make 0;
+      next_wid = Atomic.make 0;
+      pool_mu = Mutex.create ();
+      pool = [];
+      zombies = [];
+      watchdog_stop = Atomic.make false;
+      watchdog = None;
+      started_mono_s = Trace.now_mono_s ();
+      c_requests = Atomic.make 0;
+      c_accepted = Atomic.make 0;
+      c_shed = Atomic.make 0;
+      c_hits_lru = Atomic.make 0;
+      c_hits_disk = Atomic.make 0;
+      c_misses = Atomic.make 0;
+      c_inline = Atomic.make 0;
+      c_deferred = Atomic.make 0;
+      c_suppressed = Atomic.make 0;
+      c_deadline = Atomic.make 0;
+      c_solved = Atomic.make 0;
+      c_panics = Atomic.make 0;
+      c_respawns = Atomic.make 0;
+      c_write_failures = Atomic.make 0;
+    }
+  in
+  match
+    Httpd.start ~host:cfg.host ?ledger_file:cfg.ledger_file ~limits:cfg.limits
+      ~handler:(handler t) ~port:cfg.port ()
+  with
+  | Error e -> Error e
+  | Ok httpd ->
+    t.httpd <- Some httpd;
+    Mutex.protect t.pool_mu (fun () ->
+      t.pool <- List.init cfg.workers (fun _ -> spawn_worker t));
+    t.watchdog <- Some (Domain.spawn (watchdog_main t));
+    if Logx.would_log Logx.Info then
+      Logx.info "serve.started"
+        [ ("port", Logx.Int (Httpd.port httpd)); ("workers", Logx.Int cfg.workers);
+          ("queue_depth", Logx.Int cfg.queue_depth) ];
+    Ok t
+
+let port t = match t.httpd with Some h -> Httpd.port h | None -> 0
+
+let stop ?drain_deadline_s t =
+  let budget = Option.value drain_deadline_s ~default:t.cfg.drain_deadline_s in
+  Atomic.set t.draining true;
+  (* transport down first: nothing new arrives, deferred fds stay live *)
+  (match t.httpd with Some h -> Httpd.stop h | None -> ());
+  (* watchdog down before the workers exit, or it would re-staff them;
+     its last supervise pass already ran *)
+  Atomic.set t.watchdog_stop true;
+  (match t.watchdog with
+  | Some d ->
+    (try Domain.join d with _ -> ());
+    t.watchdog <- None
+  | None -> ());
+  Workq.close t.queue;
+  let deadline = Trace.now_mono_s () +. budget in
+  let pool = Mutex.protect t.pool_mu (fun () -> t.pool) in
+  let rec wait () =
+    if
+      List.for_all (fun (w, _) -> not (Atomic.get w.alive)) pool
+      || Trace.now_mono_s () >= deadline
+    then ()
+    else begin
+      (try Unix.sleepf 0.02 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      wait ()
+    end
+  in
+  wait ();
+  (* drain deadline passed: fail every remaining accepted job explicitly
+     — queued ones 503, in-flight ones 504 — never drop one silently *)
+  List.iter
+    (fun job -> ignore (respond_once t job (Httpd.json ~status:503 (error_body "draining"))))
+    (Workq.drain_remaining t.queue);
+  List.iter
+    (fun (w, _) ->
+      if Atomic.get w.alive then begin
+        Atomic.set w.superseded true;
+        match Atomic.get w.current with
+        | Some job ->
+          Atomic.set w.current None;
+          Atomic.incr t.c_deadline;
+          ignore
+            (respond_once t job
+               (Httpd.json ~status:504 (error_body "deadline" ~extra:[ ("stage", Jsonx.Str "drain") ])))
+        | None -> ()
+      end)
+    pool;
+  (* join what has exited; a superseded straggler wedged in a solve is
+     left to die with the process rather than block shutdown *)
+  List.iter (fun (w, d) -> if not (Atomic.get w.alive) then try Domain.join d with _ -> ()) pool;
+  Mutex.protect t.pool_mu (fun () -> t.pool <- []);
+  if Logx.would_log Logx.Info then
+    Logx.info "serve.stopped"
+      [ ("deferred_responses", Logx.Int (Atomic.get t.c_deferred));
+        ("suppressed", Logx.Int (Atomic.get t.c_suppressed)) ]

@@ -1,0 +1,81 @@
+(** `ddm serve` — a crash-safe, deadline-aware evaluation service.
+
+    Composes the serve subsystem on the {!Httpd} transport:
+
+    - {b admission} (HTTP handler, server domain): parse, consult the
+      two-tier cache ({!Lru} then {!Cache_store}) and answer hits
+      inline; misses are stamped with a deadline and pushed onto the
+      bounded {!Workq} — past the watermark they are {e shed} with 429
+      + [Retry-After] instead of queueing without bound, and while
+      draining admission answers 503;
+    - {b workers}: a pool of solver domains popping the queue, solving
+      under the request deadline ({!Solver.solve}; budget expiry
+      surfaces as 504 carrying the sweep's partial progress), filling
+      both cache tiers, and answering the deferred connection via
+      {!Httpd.send_response} — {e exactly once} per accepted request,
+      enforced by a per-job atomic compare-and-set (late or duplicate
+      attempts are suppressed and counted, never sent);
+    - {b watchdog}: a supervisor domain that answers 500 on behalf of a
+      worker that died mid-job and 504 for one wedged past its
+      deadline + grace, then respawns the pool to strength without
+      touching the queue;
+    - {b chaos} (optional, seeded): injected slow solves, worker
+      panics, and disk-write faults, so the failure paths above are
+      exercised deterministically in tests and soaks.
+
+    Endpoints (on top of the observability routes {!Httpd} serves):
+    [POST /eval] (body: {!Solver.parse} wire format) and
+    [GET /cache/stats] (counters + cache/queue/pool state,
+    [ddm.cache.stats/v1]).
+
+    {!stop} is the graceful drain: stop accepting, let workers finish
+    everything already accepted up to a drain deadline, then fail any
+    leftovers explicitly (503/504) — accepted requests always get a
+    terminal response, even on the abandon path. *)
+
+type chaos = {
+  slow_rate : float;  (** fraction of jobs stalled before solving *)
+  slow_s : float;  (** stall length *)
+  panic_rate : float;  (** fraction of jobs whose worker dies mid-job *)
+  diskfail_rate : float;  (** fraction of cache writes that tear and fail *)
+  seed : int;  (** chaos PRNG seed — runs replay exactly *)
+}
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; read back with {!port} *)
+  workers : int;
+  queue_depth : int;  (** shed watermark *)
+  default_budget_ms : int;  (** deadline for requests without [budget_ms] *)
+  stuck_grace_s : float;  (** slack past the deadline before the watchdog supersedes *)
+  lru_cap : int;
+  cache_dir : string option;  (** durable tier root; [None] = memory-only *)
+  ledger_file : string option;  (** per-request run ledger (rotated) *)
+  ledger_rotate_bytes : int;
+  drain_deadline_s : float;
+  limits : Httpd.limits;
+  chaos : chaos option;
+}
+
+val default_config : config
+(** Loopback, ephemeral port, 2 workers, depth 64, 5 s budget, 0.5 s
+    grace, 256-entry LRU, no durable tier, no ledger, 4 MiB rotation,
+    5 s drain, {!Httpd.default_limits}, no chaos. *)
+
+type t
+
+val start : config -> (t, string) result
+(** Open the durable cache (running crash recovery), bind the HTTP
+    transport, spawn the worker pool and watchdog.  [Error] on bind
+    failure.
+    @raise Invalid_argument on nonsensical config (no workers, empty
+    queue, non-positive budget/grace/drain).
+    @raise Sys_error / [Unix.Unix_error] when [cache_dir] is unusable. *)
+
+val port : t -> int
+val stop : ?drain_deadline_s:float -> t -> unit
+(** Graceful drain as described above.  Idempotent-ish: a second call
+    finds everything already down and returns quickly. *)
+
+val stats_json : t -> string
+(** The [GET /cache/stats] document ([ddm.cache.stats/v1]). *)

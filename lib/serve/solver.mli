@@ -1,0 +1,67 @@
+(** Evaluation requests: wire format, canonical cache key, and the
+    deadline-aware dispatch into the repo's solver pipelines.
+
+    A request names a rule family and instance:
+
+    {v {"rule": "threshold" | "oblivious" | "opt",
+  "n": 4, "delta": "4/3",            // string rational or number; default n/3
+  "params": [0.62] | 0.62 | [...],   // scalar/1-vector expands to n; default 0.5
+  "mode": "exact" | "grid",          // default "exact"
+  "points": 32,                      // grid resolution per dimension
+  "crash": 0.1,                      // fold a crash rate in (grid mode only)
+  "budget_ms": 2000} v}
+
+    [threshold]/[oblivious] evaluate the paper's Theorem 5.1 / 4.1 closed
+    forms ([exact]) or the engine's midpoint-grid integration ([grid],
+    required when [crash > 0] — the fold lives in
+    {!Fault_engine.win_probability_grid}); [opt] runs the certified
+    symbolic optimum {!Symbolic.optimal_sym_threshold}.
+
+    {!solve} is deadline-aware: grid sweeps get a per-cell cooperative
+    cancel hook and raise {!Engine.Cancelled} with partial progress when
+    the budget expires; single-shot exact pipelines check the deadline
+    before starting (mid-flight they are covered by the serve watchdog). *)
+
+type rule = Threshold | Oblivious | Opt
+type mode = Exact | Grid of int  (** points per dimension *)
+
+type req = {
+  rule : rule;
+  n : int;
+  delta : Rat.t;
+  params : float array;  (** thresholds / bin-0 probabilities; empty for [Opt] *)
+  mode : mode;
+  crash : float;  (** player crash rate folded into the grid integrand *)
+  budget_ms : int option;  (** per-request deadline override *)
+}
+
+val parse : string -> (req, string) result
+(** Parse and validate a request body.  [Error] carries a
+    client-attributable message (unknown rule, out-of-range [n]/[crash],
+    [crash > 0] without grid mode, ...). *)
+
+val cache_key : req -> string
+(** Canonical identity of the {e answer}: rule family, [n], exact
+    [delta], parameters at full precision, mode, and crash rate.
+    [budget_ms] is excluded — the deadline shapes whether an answer is
+    produced, not its value. *)
+
+type answer = {
+  p : float;  (** winning probability (the optimum's value for [Opt]) *)
+  detail : (string * Jsonx.t) list;
+      (** rule-specific extras, e.g. [beta_star] and its exact rational
+          form for [Opt] *)
+}
+
+val answer_to_json : answer -> Jsonx.t
+val answer_of_json : Jsonx.t -> (answer, string) result
+(** Inverse of {!answer_to_json}; how cached values rehydrate. *)
+
+val solve : deadline_mono_s:float -> req -> answer
+(** Evaluate, honoring the deadline (monotonic absolute,
+    {!Trace.now_mono_s} clock).
+    @raise Engine.Cancelled when the budget expires mid-sweep (or before
+    an un-cancellable exact pipeline starts), with partial progress.
+    @raise Invalid_argument on instance limits (grid too large). *)
+
+val rule_to_string : rule -> string

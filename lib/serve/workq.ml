@@ -1,0 +1,61 @@
+(* Mutex-guarded FIFO with a hard depth watermark.  Stdlib Condition has
+   no timed wait, so [pop] polls on a short sleep instead of blocking on
+   a condition variable — a few ms of dequeue latency, which is noise
+   next to a solve and keeps the worker loop free to notice supersession
+   and drain flags. *)
+
+type 'a t = {
+  mu : Mutex.t;
+  q : 'a Queue.t;
+  depth_watermark : int;
+  mutable closed : bool;
+}
+
+type push_result = Accepted of int | Shed | Closed
+type 'a pop_result = Job of 'a | Empty | Drained
+
+let poll_interval_s = 0.002
+
+let create ~depth =
+  if depth < 1 then invalid_arg "Workq.create: depth must be >= 1";
+  { mu = Mutex.create (); q = Queue.create (); depth_watermark = depth; closed = false }
+
+let push t x =
+  Mutex.protect t.mu (fun () ->
+    if t.closed then Closed
+    else if Queue.length t.q >= t.depth_watermark then Shed
+    else begin
+      Queue.push x t.q;
+      Accepted (Queue.length t.q)
+    end)
+
+let try_pop t =
+  Mutex.protect t.mu (fun () ->
+    match Queue.pop t.q with
+    | x -> Job x
+    | exception Queue.Empty -> if t.closed then Drained else Empty)
+
+let pop t ~timeout_s =
+  let deadline = Trace.now_mono_s () +. timeout_s in
+  let rec go () =
+    match try_pop t with
+    | (Job _ | Drained) as r -> r
+    | Empty ->
+      if Trace.now_mono_s () >= deadline then Empty
+      else begin
+        (try Unix.sleepf poll_interval_s with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        go ()
+      end
+  in
+  go ()
+
+let close t = Mutex.protect t.mu (fun () -> t.closed <- true)
+
+let drain_remaining t =
+  Mutex.protect t.mu (fun () ->
+    let xs = List.of_seq (Queue.to_seq t.q) in
+    Queue.clear t.q;
+    xs)
+
+let depth t = Mutex.protect t.mu (fun () -> Queue.length t.q)
+let watermark t = t.depth_watermark
