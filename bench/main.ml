@@ -30,9 +30,12 @@
      x11        - serve soak: the evaluation service end to end over
                   real HTTP (cold/warm throughput, cache hit rate,
                   shedding at saturation)
+     x12        - parallel exact paths: lease-sharded grid cells and
+                  2^n subset folds (speedup + worker-count bit-identity)
 
-   -j N runs the Monte-Carlo groups (x8, x10) on N worker domains; the
-   lease-sharded sampler keeps their estimates bit-identical for every N. *)
+   -j N runs the Monte-Carlo groups (x8, x10) and the exact group (x12)
+   on N worker domains; lease sharding keeps every result bit-identical
+   for every N (see docs/PARALLELISM.md). *)
 
 let section id title =
   Printf.printf "\n=============================================================\n";
@@ -772,6 +775,60 @@ let x11 () =
       Serve.stop slow)
 
 (* ------------------------------------------------------------------ *)
+(* X12: parallel exact paths - lease-sharded grids and 2^n folds       *)
+(* ------------------------------------------------------------------ *)
+
+let x12 () =
+  section "X12" "Parallel exact paths: lease-sharded grid cells and 2^n subset folds";
+  Printf.printf
+    "Exact work is sharded by index range: grid cells (row-major order) and\n\
+     crash/decision subsets (by mask) are split into %d leases whose partial\n\
+     sums merge in lease order.  The value depends on (leases, work) but never\n\
+     on the worker count, so every row below must be bit-identical to -j 1\n\
+     (-j 1 is the lease path with one worker, not the historical sequential\n\
+     loop, which may differ in the last ulp from regrouped summation).\n\n"
+    Par_fold.default_leases;
+  let js = [ 1; 2; 4 ] in
+  let js =
+    match !jobs with Some j when not (List.mem j js) -> js @ [ j ] | _ -> js
+  in
+  let table name work_desc run =
+    let v1, dt1 = run 1 in
+    Printf.printf "%s (%s)\n" name work_desc;
+    Printf.printf "  %-4s %-18s %-10s %-9s %s\n" "j" "P(win) exact" "wall (s)" "speedup"
+      "bit-identical to -j 1";
+    List.iter
+      (fun j ->
+        let v, dt = if j = 1 then (v1, dt1) else run j in
+        Printf.printf "  %-4d %-18.12f %-10.3f %-9s %b\n" j v dt
+          (Printf.sprintf "%.2fx" (dt1 /. Float.max 1e-9 dt))
+          (v = v1))
+      js;
+    print_newline ()
+  in
+  let time f j =
+    let t0 = Trace.now_mono_s () in
+    let v = f j in
+    (v, Trace.now_mono_s () -. t0)
+  in
+  let pattern = Comm_pattern.none ~n:3 in
+  let protocol = Dist_protocol.common_threshold ~n:3 (1. -. (1. /. sqrt 7.)) in
+  table "Engine.win_probability_grid" "n = 3, 48^3 = 110,592 cells"
+    (time (fun j ->
+         Engine.win_probability_grid ~points:48 ~domains:j ~delta:1. pattern protocol));
+  let a = Array.init 14 (fun i -> 0.25 +. (0.035 *. float_of_int i)) in
+  table "Threshold.winning_probability" "n = 14, 2^14 = 16,384 subsets, O(3^n) work"
+    (time (fun j -> Threshold.winning_probability ~domains:j ~delta:(14. /. 3.) a));
+  let pat12 = Comm_pattern.none ~n:12 in
+  let proto12 = Dist_protocol.common_threshold ~n:12 0.55 in
+  let faults = Fault_model.crash_only 0.12 in
+  let inputs = Array.init 12 (fun i -> 0.2 +. (0.06 *. float_of_int i)) in
+  table "Fault_engine.win_probability_given" "n = 12, 2^12 = 4,096 crash masks"
+    (time (fun j ->
+         Fault_engine.win_probability_given ~domains:j ~faults ~delta:4. pat12 proto12 inputs));
+  Printf.printf "recommended -j on this machine: %d\n" (Mc_par.recommended_domains ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -870,6 +927,7 @@ let groups =
     ("fig1", fig1); ("fig2", fig2); ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4);
     ("l1", l1); ("p1", p1); ("x1", x1); ("x2", x2); ("x3", x3); ("x4", x4);
     ("x5", x5); ("x6", x6); ("x7", x7); ("x8", x8); ("x10", x10); ("x11", x11);
+    ("x12", x12);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -48,18 +48,23 @@ let samples_arg =
     & opt (pos_int "sample count") 200_000
     & info [ "samples" ] ~docv:"K" ~doc:"Monte-Carlo plays.")
 
-(* Absent -j keeps the historical single-stream sampler byte-for-byte;
+(* Absent -j keeps the historical single-threaded paths byte-for-byte;
    with -j K the Monte-Carlo paths shard over lease-owned Rng.split
-   streams, and estimates depend only on (seed, leases, samples) — never
-   on K — so -j 1 output is the determinism reference for any -j K. *)
+   streams and the exact paths (grid cells, 2^n subset folds, sweep
+   points) shard by index range, each merging per-lease results in lease
+   order — so outputs depend only on (seed, leases, work), never on K,
+   and -j 1 output is the determinism reference for any -j K.  See
+   docs/PARALLELISM.md. *)
 let jobs_arg =
   Arg.(
     value
     & opt (some (pos_int "worker count")) None
     & info [ "j"; "jobs" ] ~docv:"J"
         ~doc:
-          "Monte-Carlo worker domains. Estimates are bit-identical for every $(docv) at a fixed \
-           seed (lease-sharded sampling); omit to keep the historical sequential sampler.")
+          "Worker domains for the Monte-Carlo $(i,and) exact paths (grid integration, the \
+           threshold 2^n subset fold, chaos sweeps). Results are bit-identical for every \
+           $(docv) at a fixed seed (lease-sharded work); omit to keep the historical \
+           single-threaded paths.")
 
 let resolve_delta n = function Some d -> d | None -> Rat.of_ints n 3
 
@@ -359,7 +364,10 @@ let eval_cmd =
     let p = expand_params n params in
     let exact, model_rule =
       match rule with
-      | `Threshold -> (Threshold.winning_probability ~delta:deltaf p, Model.Single_threshold p)
+      | `Threshold ->
+        (* -j shards the Theorem 5.1 2^n subset fold; the value is
+           bit-identical for every worker count. *)
+        (Threshold.winning_probability ?domains:jobs ~delta:deltaf p, Model.Single_threshold p)
       | `Oblivious -> (Oblivious.winning_probability ~delta:deltaf p, Model.Oblivious p)
     in
     Printf.printf "instance: n = %d, delta = %s\n" n (Rat.to_string delta);
@@ -655,9 +663,9 @@ let chaos_cmd =
    recording stays under a second but clears the noise model's absolute
    floor.  Workloads take the base seed so repeated recordings are
    deterministic given --seed.  The suite takes the -j value so the
-   parallel MC workload is recorded at the worker count under test; its
-   baseline entry (recorded at -j 1) is what `perf check` gates the
-   multicore speedup against. *)
+   parallel MC and parallel-grid workloads are recorded at the worker
+   count under test; their baseline entries (recorded at -j 1) are what
+   `perf check` gates the multicore speedup against. *)
 let perf_suite ~jobs : (string * (int -> unit)) list =
   [
     ( "perf-sym-eval-n5",
@@ -678,6 +686,13 @@ let perf_suite ~jobs : (string * (int -> unit)) list =
       fun _ ->
         ignore
           (Engine.win_probability_grid ~points:32 ~delta:1. (Comm_pattern.none ~n:3)
+             (Dist_protocol.common_threshold ~n:3 0.62)) );
+    ( "perf-grid-par-n3-32",
+      fun _ ->
+        ignore
+          (Engine.win_probability_grid ~points:32
+             ~domains:(Option.value ~default:1 jobs)
+             ~delta:1. (Comm_pattern.none ~n:3)
              (Dist_protocol.common_threshold ~n:3 0.62)) );
     ( "perf-mc-100k-n3",
       fun seed ->
@@ -1051,8 +1066,8 @@ let obs_cmd =
 (* ------------------------- serve ------------------------- *)
 
 let serve_cmd =
-  let run port workers queue_depth budget_ms lru_cap cache_dir ledger duration chaos_slow
-      chaos_slow_s chaos_panic chaos_diskfail chaos_seed =
+  let run port workers solver_jobs queue_depth budget_ms lru_cap cache_dir ledger duration
+      chaos_slow chaos_slow_s chaos_panic chaos_diskfail chaos_seed =
     Metrics.set_enabled true;
     Trace.set_enabled true;
     let chaos =
@@ -1072,6 +1087,7 @@ let serve_cmd =
         Serve.default_config with
         Serve.port;
         workers;
+        solver_domains = solver_jobs;
         queue_depth;
         default_budget_ms = budget_ms;
         lru_cap;
@@ -1099,9 +1115,9 @@ let serve_cmd =
       (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ | Sys_error _ -> ());
       Printf.printf
         "serve: listening http://127.0.0.1:%d (POST /eval, GET /cache/stats + obs routes), %d \
-         workers, queue %d%s%s\n\
+         workers x %d solver domain(s), queue %d%s%s\n\
          %!"
-        (Serve.port t) workers queue_depth
+        (Serve.port t) workers solver_jobs queue_depth
         (match cache_dir with Some d -> Printf.sprintf ", cache %s" d | None -> ", memory-only")
         (match duration with
         | Some d -> Printf.sprintf ", stopping after %gs" d
@@ -1129,7 +1145,18 @@ let serve_cmd =
     Arg.(
       value
       & opt (pos_int "worker count") Serve.default_config.Serve.workers
-      & info [ "workers" ] ~docv:"N" ~doc:"Solver worker domains.")
+      & info [ "workers" ] ~docv:"N" ~doc:"Solver worker domains (one request each).")
+  in
+  let solver_jobs_arg =
+    Arg.(
+      value
+      & opt (pos_int "solver worker count") Serve.default_config.Serve.solver_domains
+      & info [ "j"; "solver-jobs" ] ~docv:"J"
+          ~doc:
+            "Domains $(i,per solve): each worker fans its exact solve (grid sweeps, the \
+             threshold 2^n fold) over $(docv) lease-sharded domains, so total solve \
+             concurrency is up to --workers * $(docv). Answers are bit-identical for every \
+             $(docv), so the cache is unaffected. Default 1 (sequential solves).")
   in
   let queue_arg =
     Arg.(
@@ -1199,9 +1226,9 @@ let serve_cmd =
           queries through a two-tier persistent answer cache, a bounded load-shedding work \
           queue, and a supervised solver-worker pool; SIGTERM drains gracefully.")
     Term.(
-      const run $ port_arg $ workers_arg $ queue_arg $ budget_arg $ lru_arg $ cache_dir_arg
-      $ serve_ledger_arg $ duration_arg $ chaos_slow_arg $ chaos_slow_s_arg $ chaos_panic_arg
-      $ chaos_diskfail_arg $ chaos_seed_arg)
+      const run $ port_arg $ workers_arg $ solver_jobs_arg $ queue_arg $ budget_arg $ lru_arg
+      $ cache_dir_arg $ serve_ledger_arg $ duration_arg $ chaos_slow_arg $ chaos_slow_s_arg
+      $ chaos_panic_arg $ chaos_diskfail_arg $ chaos_seed_arg)
 
 let () =
   let info =

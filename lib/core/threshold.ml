@@ -10,17 +10,19 @@ let check_thresholds a =
     (fun v -> if v < 0. || v > 1. then invalid_arg "Threshold: thresholds must lie in [0,1]")
     a
 
-let winning_probability_caps ~delta0 ~delta1 a =
+let winning_probability_caps ?domains ?leases ~delta0 ~delta1 a =
   check_thresholds a;
   let n = Array.length a in
   Metrics.add subset_terms (1 lsl n);
-  Combinat.fold_subsets ~n ~init:0. ~f:(fun acc mask ->
-    (* mask bit i set <=> player i picks bin 1 (x_i > a_i). *)
+  (* mask bit i set <=> player i picks bin 1 (x_i > a_i).  [term] is one
+     decision vector's contribution, shared by the sequential fold and the
+     lease-sharded sum. *)
+  let term mask =
     let p_b = ref 1. in
     for i = 0 to n - 1 do
       p_b := !p_b *. (if mask land (1 lsl i) <> 0 then 1. -. a.(i) else a.(i))
     done;
-    if !p_b = 0. then acc
+    if !p_b = 0. then 0.
     else begin
       let bin0 = ref [] and bin1 = ref [] in
       for i = n - 1 downto 0 do
@@ -28,10 +30,18 @@ let winning_probability_caps ~delta0 ~delta1 a =
       done;
       let f0 = Uniform_sum.cdf_float ~widths:(Array.of_list !bin0) delta0 in
       let f1 = Uniform_sum.cdf_shifted_float ~lowers:(Array.of_list !bin1) delta1 in
-      acc +. (!p_b *. f0 *. f1)
-    end)
+      !p_b *. f0 *. f1
+    end
+  in
+  match domains with
+  | None -> Combinat.fold_subsets ~n ~init:0. ~f:(fun acc mask -> acc +. term mask)
+  | Some domains ->
+    (* 2^n decision vectors sharded by index range; partial sums merge in
+       lease order, so the value is worker-count invariant. *)
+    Par_fold.sum ?leases ~span:"threshold.subset.lease" ~domains ~items:(1 lsl n) term
 
-let winning_probability ~delta a = winning_probability_caps ~delta0:delta ~delta1:delta a
+let winning_probability ?domains ?leases ~delta a =
+  winning_probability_caps ?domains ?leases ~delta0:delta ~delta1:delta a
 
 let winning_probability_rat ~delta a =
   let n = Array.length a in

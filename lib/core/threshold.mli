@@ -11,13 +11,23 @@
     inner inclusion-exclusion each — [O(3^n)] total — while the symmetric
     (common-threshold) evaluator collapses to [O(n²)] terms. *)
 
-val winning_probability : delta:float -> float array -> float
-(** Theorem 5.1 for an arbitrary threshold vector [a], [0 <= a_i <= 1]. *)
+val winning_probability : ?domains:int -> ?leases:int -> delta:float -> float array -> float
+(** Theorem 5.1 for an arbitrary threshold vector [a], [0 <= a_i <= 1].
 
-val winning_probability_caps : delta0:float -> delta1:float -> float array -> float
+    Without [domains] the [2^n] decision-vector enumeration is the
+    historical sequential fold.  With [domains:k] the vectors are sharded
+    by index range over [leases] leases ({!Par_fold.sum}); partial sums
+    merge in lease order, so the value is bit-identical for every worker
+    count at fixed [leases] — this is the exact path behind
+    [ddm eval -j].  The symmetric evaluators below stay sequential: they
+    are [O(n²)] and not worth a domain spawn. *)
+
+val winning_probability_caps :
+  ?domains:int -> ?leases:int -> delta0:float -> delta1:float -> float array -> float
 (** Generalization to bins of unequal capacities [delta0] (bin 0) and
     [delta1] (bin 1) — the paper's framework supports this directly since
-    the two conditional overflow events stay independent. *)
+    the two conditional overflow events stay independent.  Same
+    [domains]/[leases] contract as {!winning_probability}. *)
 
 val winning_probability_sym_caps : n:int -> delta0:float -> delta1:float -> float -> float
 

@@ -26,7 +26,12 @@ type report = {
 let sweep ?(grid_points = 64) ?domains ?leases ~rng ~samples ~rates ~model_of ~delta pattern
     protocol =
   Trace.with_span "faults.degradation_sweep" @@ fun () ->
-  let baseline_exact = Engine.win_probability_grid ~points:grid_points ~delta pattern protocol in
+  (* [domains] widens both halves of every point: the MC estimate rides
+     Mc_par's split-stream leases, the exact grid rides Par_fold's
+     index-sharded leases — each bit-identical across worker counts. *)
+  let baseline_exact =
+    Engine.win_probability_grid ~points:grid_points ?domains ?leases ~delta pattern protocol
+  in
   (* every sweep point owns a split-off stream: adding a rate or changing
      the sample count of one point never shifts another's randomness *)
   let baseline_mc =
@@ -48,7 +53,9 @@ let sweep ?(grid_points = 64) ?domains ?leases ~rng ~samples ~rates ~model_of ~d
         in
         let exact =
           if Fault_model.crash_foldable faults then
-            Some (Fault_engine.win_probability_grid ~points:grid_points ~faults ~delta pattern protocol)
+            Some
+              (Fault_engine.win_probability_grid ~points:grid_points ?domains ?leases ~faults
+                 ~delta pattern protocol)
           else None
         in
         { rate; faults; estimate; exact })

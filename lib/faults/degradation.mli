@@ -45,9 +45,14 @@ val sweep :
 (** Run the sweep. Each sweep point (and the baseline) draws from its own
     {!Rng.split}-off stream, so reports are reproducible per seed and
     stable under adding rates. [model_of] maps the swept rate to the full
-    fault model (fix the other dimensions inside it). [?domains]/[?leases]
-    parallelize each point's MC estimate (worker-count-independent, see
-    {!Mc.probability}). *)
+    fault model (fix the other dimensions inside it).
+
+    [?domains]/[?leases] widen {e both} halves of every point: the MC
+    estimate through {!Mc.probability}'s split-stream leases and the
+    exact grid fold through {!Par_fold}'s index-sharded leases (each
+    sweep point is an independent exact solve whose cells go wide).
+    Either way the report is bit-identical for every worker count at a
+    fixed seed and lease count. *)
 
 val monotone_nonincreasing : ?slack:float -> report -> bool
 (** Does the win probability degrade monotonically along [points]?

@@ -53,17 +53,27 @@ val win_probability_mc :
     bit-identical for every worker count at a fixed seed. *)
 
 val win_probability_given :
+  ?domains:int ->
+  ?leases:int ->
   faults:Fault_model.t -> delta:float -> Comm_pattern.t -> Dist_protocol.t -> float array -> float
 (** Exact win probability conditioned on the inputs, folding the fault
     model analytically: sums over the [2^n] crash subsets (weighted
     [c^|S| (1-c)^(n-|S|)]), rerouting crashed inputs per the crash mode,
     and over the surviving players' decision branches.
+
+    Without [domains] the subset fold is the historical sequential loop.
+    With [domains:k] the [2^n] subsets are sharded by index range over
+    [leases] contiguous ranges ({!Par_fold.sum}); partial sums merge in
+    lease order so the fold is bit-identical for every worker count at
+    fixed [leases].  ["faults.fold.lease"] spans ride the tracing plane.
     @raise Invalid_argument unless {!Fault_model.crash_foldable} holds —
     only the crash dimension folds; estimate the rest by Monte-Carlo. *)
 
 val win_probability_grid :
   ?points:int ->
   ?cancel:(unit -> bool) ->
+  ?domains:int ->
+  ?leases:int ->
   faults:Fault_model.t ->
   delta:float ->
   Comm_pattern.t ->
@@ -75,6 +85,11 @@ val win_probability_grid :
     it at crash rate 0.  [cancel] is the same per-cell cooperative
     cancellation hook: when it returns [true] the sweep raises
     {!Engine.Cancelled} with its partial progress.
+
+    [domains]/[leases] shard the {e cells} exactly as in
+    {!Engine.win_probability_grid} (the per-cell subset fold stays
+    sequential — parallelism at one level only): worker-count-invariant
+    results, merged-progress cancellation, ["faults.grid.lease"] spans.
     @raise Invalid_argument when the model is not crash-foldable or the
     grid exceeds [10^8] cells.
     @raise Engine.Cancelled when [cancel] fires mid-sweep. *)

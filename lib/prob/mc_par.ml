@@ -1,5 +1,5 @@
-let default_leases = 64
-let recommended_domains () = Domain.recommended_domain_count ()
+let default_leases = Par_fold.default_leases
+let recommended_domains = Par_fold.recommended_domains
 
 (* Lease i gets [samples / leases] draws plus one of the remainder, so the
    shares differ by at most one and every lease count partitions exactly. *)
@@ -20,54 +20,21 @@ let fold ?(leases = default_leases) ~domains ~rng ~samples ~init ~step ~merge ()
      scheduling. *)
   let streams = Array.init leases (fun _ -> Rng.split rng) in
   let counts = lease_counts ~leases ~samples in
-  let results = Array.make leases None in
-  let next = Atomic.make 0 in
-  let run_lease i =
-    Trace.with_span "mc.par.lease" @@ fun () ->
-    if Logx.would_log Logx.Debug then
-      Logx.debug "mc.par.lease" [ ("lease", Logx.Int i); ("samples", Logx.Int counts.(i)) ];
-    let rng = streams.(i) in
-    let acc = ref (init ()) in
-    for _ = 1 to counts.(i) do
-      acc := step !acc rng
-    done;
-    (* Slots are disjoint per lease and published to the main domain by
-       Domain.join's happens-before edge. *)
-    results.(i) <- Some !acc
+  let parts =
+    Par_fold.run_leases ~span:"mc.par.lease" ~domains ~leases (fun i ->
+        if Logx.would_log Logx.Debug then
+          Logx.debug "mc.par.lease" [ ("lease", Logx.Int i); ("samples", Logx.Int counts.(i)) ];
+        let rng = streams.(i) in
+        let acc = ref (init ()) in
+        for _ = 1 to counts.(i) do
+          acc := step !acc rng
+        done;
+        !acc)
   in
-  let rec worker () =
-    let i = Atomic.fetch_and_add next 1 in
-    if i < leases then begin
-      run_lease i;
-      worker ()
-    end
-  in
-  if domains = 1 then worker ()
-  else begin
-    let spawned =
-      Array.init
-        (min (domains - 1) leases)
-        (fun _ ->
-          Domain.spawn (fun () ->
-              worker ();
-              (* Hand tracing back to the main domain; an empty list when
-                 tracing is off. *)
-              Trace.drain ()))
-    in
-    let main_exn = (try worker (); None with e -> Some e) in
-    (* Join every domain even if one raised, so no worker outlives the
-       call; re-raise the main domain's exception first. *)
-    let joined = Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) spawned in
-    Array.iter (function Ok spans -> Trace.absorb spans | Error _ -> ()) joined;
-    (match main_exn with Some e -> raise e | None -> ());
-    Array.iter (function Error e -> raise e | Ok _ -> ()) joined
-  end;
   if Logx.would_log Logx.Info then
     Logx.info "mc.par.done"
       [ ("samples", Logx.Int samples); ("wall_s", Logx.Float (Trace.now_mono_s () -. t0)) ];
-  Array.fold_left
-    (fun acc r -> match r with Some v -> merge acc v | None -> acc)
-    (init ()) results
+  Array.fold_left merge (init ()) parts
 
 let count ?leases ~domains ~rng ~samples f =
   fold ?leases ~domains ~rng ~samples

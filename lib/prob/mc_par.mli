@@ -16,11 +16,18 @@
     gauges/histograms are left to the caller on the main domain.  When
     tracing is enabled each lease is recorded as an ["mc.par.lease"] span
     in its worker's domain-local buffer, and worker buffers are folded into
-    the main domain's profile on join ({!Trace.drain}/{!Trace.absorb}). *)
+    the main domain's profile on join ({!Trace.drain}/{!Trace.absorb}).
+
+    The domain pool itself (atomic lease cursor, join/exception
+    discipline, trace hand-back) is {!Par_fold.run_leases}; this module
+    adds the split-stream derivation on top.  The same contract for
+    {e exact} indexed folds — grids, 2^n subset sums — is
+    {!Par_fold.fold}.  See docs/PARALLELISM.md for the full contract. *)
 
 val default_leases : int
 (** 64 — comfortably more leases than any realistic worker count, so the
-    pool load-balances even when per-sample cost is uneven. *)
+    pool load-balances even when per-sample cost is uneven.  Equal to
+    {!Par_fold.default_leases}. *)
 
 val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count ()]: a sensible [-j] value for this

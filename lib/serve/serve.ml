@@ -35,6 +35,7 @@ type config = {
   host : string;
   port : int;
   workers : int;
+  solver_domains : int;
   queue_depth : int;
   default_budget_ms : int;
   stuck_grace_s : float;
@@ -52,6 +53,7 @@ let default_config =
     host = "127.0.0.1";
     port = 0;
     workers = 2;
+    solver_domains = 1;
     queue_depth = 64;
     default_budget_ms = 5_000;
     stuck_grace_s = 0.5;
@@ -236,7 +238,12 @@ let run_job t job =
     | Some c when chaos_draw t c.slow_rate ->
       (try Unix.sleepf c.slow_s with Unix.Unix_error (Unix.EINTR, _, _) -> ())
     | _ -> ());
-    match Solver.solve ~deadline_mono_s:job.deadline_mono_s job.jreq with
+    (* solver_domains = 1 keeps the historical in-worker sequential solve
+       (no lease regrouping of float sums, so answers cached by earlier
+       builds stay byte-stable); > 1 fans each solve out over a lease-
+       sharded domain pool nested under this worker. *)
+    let domains = if t.cfg.solver_domains > 1 then Some t.cfg.solver_domains else None in
+    match Solver.solve ?domains ~deadline_mono_s:job.deadline_mono_s job.jreq with
     | answer ->
       let wall_s = Trace.now_mono_s () -. now in
       Atomic.incr t.c_solved;
@@ -482,6 +489,7 @@ let handler t (req : Httpd.request) =
 
 let validate cfg =
   if cfg.workers < 1 then invalid_arg "Serve.start: workers must be >= 1";
+  if cfg.solver_domains < 1 then invalid_arg "Serve.start: solver_domains must be >= 1";
   if cfg.queue_depth < 1 then invalid_arg "Serve.start: queue_depth must be >= 1";
   if cfg.default_budget_ms < 1 then invalid_arg "Serve.start: default_budget_ms must be >= 1";
   if not (cfg.stuck_grace_s > 0.) then invalid_arg "Serve.start: stuck_grace_s must be positive";

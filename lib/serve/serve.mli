@@ -45,6 +45,13 @@ type config = {
   host : string;
   port : int;  (** 0 picks an ephemeral port; read back with {!port} *)
   workers : int;
+  solver_domains : int;
+      (** [-j] for each worker's solve: > 1 fans the exact paths (grid
+          sweeps, threshold subset fold) over a lease-sharded domain pool
+          nested under the worker, so total solve concurrency is up to
+          [workers * solver_domains] domains.  Answers are bit-identical
+          for every value (see {!Solver.solve}), so the cache is
+          unaffected.  Default 1: the historical sequential solve. *)
   queue_depth : int;  (** shed watermark *)
   default_budget_ms : int;  (** deadline for requests without [budget_ms] *)
   stuck_grace_s : float;  (** slack past the deadline before the watchdog supersedes *)
@@ -58,9 +65,10 @@ type config = {
 }
 
 val default_config : config
-(** Loopback, ephemeral port, 2 workers, depth 64, 5 s budget, 0.5 s
-    grace, 256-entry LRU, no durable tier, no ledger, 4 MiB rotation,
-    5 s drain, {!Httpd.default_limits}, no chaos. *)
+(** Loopback, ephemeral port, 2 workers of 1 solver domain each, depth
+    64, 5 s budget, 0.5 s grace, 256-entry LRU, no durable tier, no
+    ledger, 4 MiB rotation, 5 s drain, {!Httpd.default_limits}, no
+    chaos. *)
 
 type t
 

@@ -162,7 +162,7 @@ let check_not_expired ~deadline_mono_s =
   if Trace.now_mono_s () >= deadline_mono_s then
     raise (Engine.Cancelled { cells_done = 0; cells_total = 1 })
 
-let solve ~deadline_mono_s r =
+let solve ?domains ~deadline_mono_s r =
   let cancel () = Trace.now_mono_s () >= deadline_mono_s in
   let delta_f = Rat.to_float r.delta in
   match (r.rule, r.mode) with
@@ -178,8 +178,9 @@ let solve ~deadline_mono_s r =
     }
   | Threshold, Exact ->
     check_not_expired ~deadline_mono_s;
-    { p = Threshold.winning_probability ~delta:delta_f r.params; detail = [] }
+    { p = Threshold.winning_probability ?domains ~delta:delta_f r.params; detail = [] }
   | Oblivious, Exact ->
+    (* Theorem 4.1 collapses to n+1 terms — nothing to shard. *)
     check_not_expired ~deadline_mono_s;
     { p = Oblivious.winning_probability ~delta:delta_f r.params; detail = [] }
   | (Threshold | Oblivious), Grid points ->
@@ -191,8 +192,8 @@ let solve ~deadline_mono_s r =
     in
     let p =
       if r.crash > 0. then
-        Fault_engine.win_probability_grid ~points ~cancel
+        Fault_engine.win_probability_grid ~points ~cancel ?domains
           ~faults:(Fault_model.crash_only r.crash) ~delta:delta_f pattern protocol
-      else Engine.win_probability_grid ~points ~cancel ~delta:delta_f pattern protocol
+      else Engine.win_probability_grid ~points ~cancel ?domains ~delta:delta_f pattern protocol
     in
     { p; detail = [ ("points", Jsonx.Num (float_of_int points)) ] }

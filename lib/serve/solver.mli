@@ -57,9 +57,18 @@ val answer_to_json : answer -> Jsonx.t
 val answer_of_json : Jsonx.t -> (answer, string) result
 (** Inverse of {!answer_to_json}; how cached values rehydrate. *)
 
-val solve : deadline_mono_s:float -> req -> answer
+val solve : ?domains:int -> deadline_mono_s:float -> req -> answer
 (** Evaluate, honoring the deadline (monotonic absolute,
     {!Trace.now_mono_s} clock).
+
+    [domains] widens the solve itself on the lease-sharded exact paths —
+    grid sweeps ({!Engine.win_probability_grid} /
+    {!Fault_engine.win_probability_grid}) and the threshold 2^n subset
+    fold — with answers bit-identical for every domain count, so
+    {!cache_key} stays [domains]-independent by construction.  Grid
+    cancellation still fires under sharding, with merged progress across
+    leases.  The [opt] symbolic pipeline and the n+1-term oblivious
+    closed form stay single-threaded.
     @raise Engine.Cancelled when the budget expires mid-sweep (or before
     an un-cancellable exact pipeline starts), with partial progress.
     @raise Invalid_argument on instance limits (grid too large). *)

@@ -240,6 +240,23 @@ let oblivious_props =
 
 let threshold_tests =
   [
+    Alcotest.test_case "sharded subset fold is bit-identical across -j 1/2/8" `Quick (fun () ->
+      (* an asymmetric vector so every one of the 2^n terms is distinct *)
+      let a = Array.init 11 (fun i -> 0.15 +. (0.07 *. float_of_int i)) in
+      let delta = 11. /. 3. in
+      let p j = Threshold.winning_probability ~domains:j ~delta a in
+      let p1 = p 1 in
+      List.iter
+        (fun j -> Alcotest.(check (float 0.)) (Printf.sprintf "domains=%d" j) p1 (p j))
+        [ 2; 8 ];
+      (* sequential fold differs from the lease regrouping by roundoff only *)
+      Alcotest.(check bool) "matches the sequential fold" true
+        (Float.abs (p1 -. Threshold.winning_probability ~delta a) < 1e-14);
+      (* leases beyond the subset count are harmless (n=2 has 4 terms) *)
+      let tiny = [| 0.3; 0.8 |] in
+      Alcotest.(check (float 0.)) "leases > subsets"
+        (Threshold.winning_probability ~domains:2 ~leases:64 ~delta:(2. /. 3.) tiny)
+        (Threshold.winning_probability ~domains:1 ~leases:64 ~delta:(2. /. 3.) tiny));
     Alcotest.test_case "symmetric collapse equals general evaluator" `Quick (fun () ->
       for n = 1 to 8 do
         let delta = float_of_int n /. 3. in

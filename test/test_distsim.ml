@@ -239,6 +239,85 @@ let engine_tests =
         (fun () -> ignore (Engine.win_probability_grid ~points:2000 ~delta:1. pat proto)));
   ]
 
+(* ------------------------- sharded exact grid ------------------------- *)
+
+(* The exact-path determinism contract: at a fixed (points, leases) the
+   sharded integral must not depend on the worker count, and cancellation
+   must still fire with merged progress. *)
+let grid_par_tests =
+  let n = 3 and delta = 1. in
+  let pat = Comm_pattern.none ~n in
+  let proto = Dist_protocol.common_threshold ~n 0.622 in
+  [
+    Alcotest.test_case "sharded grid is bit-identical across domains 1/2/4" `Quick (fun () ->
+      let grid j = Engine.win_probability_grid ~points:24 ~domains:j ~delta pat proto in
+      let g1 = grid 1 in
+      List.iter
+        (fun j -> Alcotest.(check (float 0.)) (Printf.sprintf "domains=%d" j) g1 (grid j))
+        [ 2; 4 ];
+      (* the historical sequential sweep groups the same cell sums in one
+         pass; the lease regrouping may move the last ulp, nothing more *)
+      let seq = Engine.win_probability_grid ~points:24 ~delta pat proto in
+      Alcotest.(check bool) "matches the sequential sweep" true (Float.abs (g1 -. seq) < 1e-12));
+    Alcotest.test_case "worker-count invariance holds for any lease count" `Quick (fun () ->
+      List.iter
+        (fun leases ->
+          let grid j =
+            Engine.win_probability_grid ~points:8 ~domains:j ~leases ~delta pat proto
+          in
+          Alcotest.(check (float 0.)) (Printf.sprintf "leases=%d" leases) (grid 1) (grid 3))
+        [ 1; 7; 64; 1000 ]);
+    Alcotest.test_case "lease count > cells still covers every cell once" `Quick (fun () ->
+      (* 8 cells over 64 leases: most leases are empty *)
+      let tiny j = Engine.win_probability_grid ~points:2 ~domains:j ~leases:64 ~delta pat proto in
+      let seq = Engine.win_probability_grid ~points:2 ~delta pat proto in
+      Alcotest.(check (float 1e-12)) "empty leases contribute nothing" seq (tiny 4);
+      Alcotest.(check (float 0.)) "and stay worker-count invariant" (tiny 1) (tiny 4));
+    Alcotest.test_case "cancellation fires mid-lease with merged progress" `Quick (fun () ->
+      (* let roughly half the sweep complete before the hook flips: the
+         raise must carry a cells_done merged across leases, not one
+         lease's private count *)
+      let calls = Atomic.make 0 in
+      let cancel () = Atomic.fetch_and_add calls 1 >= 2_000 in
+      (try
+         ignore
+           (Engine.win_probability_grid ~points:16 ~domains:4 ~cancel ~delta pat proto);
+         Alcotest.fail "sweep outran its cancel hook"
+       with Engine.Cancelled { cells_done; cells_total } ->
+         Alcotest.(check int) "total is the full grid" 4096 cells_total;
+         Alcotest.(check bool)
+           (Printf.sprintf "progress %d reflects completed work" cells_done)
+           true
+           (cells_done >= 1_000 && cells_done < cells_total));
+      (* immediate cancellation reports zero cells done *)
+      (try
+         ignore
+           (Engine.win_probability_grid ~points:16 ~domains:4
+              ~cancel:(fun () -> true)
+              ~delta pat proto);
+         Alcotest.fail "immediate cancel ignored"
+       with Engine.Cancelled { cells_done; cells_total } ->
+         Alcotest.(check int) "no progress" 0 cells_done;
+         Alcotest.(check int) "total still reported" 4096 cells_total));
+    Alcotest.test_case "worker exceptions on the exact path propagate" `Quick (fun () ->
+      let boom = Dist_protocol.make ~deterministic:true ~name:"boom" (fun _ -> failwith "boom") in
+      Alcotest.check_raises "protocol exception surfaces" (Failure "boom") (fun () ->
+        ignore (Engine.win_probability_grid ~points:8 ~domains:3 ~delta pat boom)));
+    Alcotest.test_case "optimize_family accepts domains" `Quick (fun () ->
+      let family params = Dist_protocol.common_threshold ~n params.(0) in
+      let x0 = [| 0.3 |] in
+      let _, best_seq =
+        Engine.optimize_family ~points:20 ~delta pat ~family ~x0 ~bounds:[| (0., 1.) |] ()
+      in
+      let _, best_par =
+        Engine.optimize_family ~points:20 ~domains:2 ~delta pat ~family ~x0
+          ~bounds:[| (0., 1.) |] ()
+      in
+      (* scoring sweeps differ only by lease regrouping ulps, so the
+         optimizer must land essentially in the same place *)
+      Alcotest.(check bool) "same optimum" true (Float.abs (best_seq -. best_par) < 1e-6));
+  ]
+
 (* ------------------------- Py91 ladder ------------------------- *)
 
 let py91_tests =
@@ -316,6 +395,7 @@ let () =
       ("pattern", pattern_tests);
       ("protocol", protocol_tests);
       ("engine", engine_tests);
+      ("grid-par", grid_par_tests);
       ("py91", py91_tests);
       ("engine-prop", engine_props);
     ]

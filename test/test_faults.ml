@@ -488,6 +488,75 @@ let cli_tests =
       Sys.remove out);
   ]
 
+(* ------------------------- sharded exact folds ------------------------- *)
+
+(* The exact-path determinism contract on the fault side: the 2^n
+   crash-subset fold and the fault grid must be worker-count invariant,
+   and a sweep's exact column must not change when it goes wide. *)
+let fold_par_tests =
+  let n = 4 and delta = 4. /. 3. in
+  let pattern = Comm_pattern.none ~n in
+  let protocol = Dist_protocol.common_threshold ~n 0.62 in
+  let faults = Fault_model.crash_only 0.15 in
+  [
+    Alcotest.test_case "2^n crash fold is bit-identical across domains 1/2/4" `Quick (fun () ->
+      let inputs = [| 0.7; 0.25; 0.55; 0.4 |] in
+      let fold j =
+        Fault_engine.win_probability_given ~domains:j ~faults ~delta pattern protocol inputs
+      in
+      let f1 = fold 1 in
+      List.iter
+        (fun j -> Alcotest.(check (float 0.)) (Printf.sprintf "domains=%d" j) f1 (fold j))
+        [ 2; 4 ];
+      let seq = Fault_engine.win_probability_given ~faults ~delta pattern protocol inputs in
+      Alcotest.(check bool) "matches the sequential fold" true (Float.abs (f1 -. seq) < 1e-14);
+      (* leases beyond the 16 subsets fold nothing *)
+      Alcotest.(check (float 0.)) "leases > subsets" f1
+        (Fault_engine.win_probability_given ~domains:3 ~leases:64 ~faults ~delta pattern
+           protocol inputs));
+    Alcotest.test_case "fault grid is bit-identical across domains 1/2/4" `Quick (fun () ->
+      let grid j =
+        Fault_engine.win_probability_grid ~points:8 ~domains:j ~faults ~delta pattern protocol
+      in
+      let g1 = grid 1 in
+      List.iter
+        (fun j -> Alcotest.(check (float 0.)) (Printf.sprintf "domains=%d" j) g1 (grid j))
+        [ 2; 4 ];
+      let seq = Fault_engine.win_probability_grid ~points:8 ~faults ~delta pattern protocol in
+      Alcotest.(check bool) "matches the sequential sweep" true (Float.abs (g1 -. seq) < 1e-12));
+    Alcotest.test_case "fault grid cancellation reports merged progress" `Quick (fun () ->
+      let calls = Atomic.make 0 in
+      let cancel () = Atomic.fetch_and_add calls 1 >= 1_000 in
+      try
+        ignore
+          (Fault_engine.win_probability_grid ~points:8 ~domains:4 ~cancel ~faults ~delta pattern
+             protocol);
+        Alcotest.fail "sweep outran its cancel hook"
+      with Engine.Cancelled { cells_done; cells_total } ->
+        Alcotest.(check int) "total is the full grid" 4096 cells_total;
+        Alcotest.(check bool)
+          (Printf.sprintf "progress %d reflects completed work" cells_done)
+          true
+          (cells_done >= 500 && cells_done < cells_total));
+    Alcotest.test_case "sweep exact column is worker-count invariant" `Quick (fun () ->
+      let sweep j =
+        Degradation.sweep ~grid_points:8 ~domains:j ~rng:(Rng.create ~seed:21) ~samples:2_000
+          ~rates:[ 0.; 0.2 ]
+          ~model_of:(fun r -> Fault_model.crash_only r)
+          ~delta pattern protocol
+      in
+      let a = sweep 1 and b = sweep 4 in
+      Alcotest.(check (float 0.)) "baseline exact" a.Degradation.baseline_exact
+        b.Degradation.baseline_exact;
+      List.iter2
+        (fun (pa : Degradation.point) (pb : Degradation.point) ->
+          Alcotest.(check (option (float 0.))) "exact point" pa.Degradation.exact
+            pb.Degradation.exact;
+          Alcotest.(check (float 0.)) "mc point" pa.Degradation.estimate.Mc.mean
+            pb.Degradation.estimate.Mc.mean)
+        a.Degradation.points b.Degradation.points);
+  ]
+
 let () =
   Alcotest.run "faults"
     [
@@ -495,5 +564,6 @@ let () =
       ("engine", engine_tests);
       ("combinators", combinator_tests);
       ("degradation", degradation_tests);
+      ("fold-par", fold_par_tests);
       ("cli", cli_tests);
     ]

@@ -424,6 +424,87 @@ let mc_par_tests =
              ~merge:( + ) ())));
   ]
 
+(* ------------------------- Par_fold ------------------------- *)
+
+(* The exact-path contract: for a fixed (items, leases) the fold must not
+   depend on how many domains executed the leases — including for
+   floating-point sums, whose grouping is a function of the partition. *)
+let par_fold_tests =
+  (* deliberately awkward per-index cost and value so regrouping would show *)
+  let f k = sin (float_of_int k) /. (1. +. (float_of_int k /. 7.)) in
+  [
+    Alcotest.test_case "sums are bit-identical across domains 1/2/4/8" `Quick (fun () ->
+      let s j = Par_fold.sum ~domains:j ~items:10_001 f in
+      let s1 = s 1 in
+      List.iter
+        (fun j -> Alcotest.(check (float 0.)) (Printf.sprintf "domains=%d" j) s1 (s j))
+        [ 2; 4; 8 ];
+      (* and the lease partition is the only float-sensitive knob: a
+         single lease reproduces the plain sequential sum exactly *)
+      let seq = ref 0. in
+      for k = 0 to 10_000 do
+        seq := !seq +. f k
+      done;
+      Alcotest.(check (float 0.))
+        "leases=1 equals the sequential sum" !seq
+        (Par_fold.sum ~domains:4 ~leases:1 ~items:10_001 f);
+      Alcotest.(check bool)
+        "default leases stay within roundoff of sequential" true
+        (Float.abs (s1 -. !seq) < 1e-9));
+    Alcotest.test_case "worker-count invariance holds for any lease count" `Quick (fun () ->
+      List.iter
+        (fun leases ->
+          let s j = Par_fold.sum ~domains:j ~leases ~items:999 f in
+          Alcotest.(check (float 0.)) (Printf.sprintf "leases=%d" leases) (s 1) (s 3))
+        [ 1; 7; 64; 200 ]);
+    Alcotest.test_case "lease count > work items: surplus leases fold init" `Quick (fun () ->
+      let counted = Atomic.make 0 in
+      let total =
+        Par_fold.fold ~domains:4 ~leases:64 ~items:5
+          ~init:(fun () -> 0)
+          ~step:(fun acc k ->
+            Atomic.incr counted;
+            acc + k)
+          ~merge:( + ) ()
+      in
+      Alcotest.(check int) "sum 0..4" 10 total;
+      Alcotest.(check int) "each index visited exactly once" 5 (Atomic.get counted));
+    Alcotest.test_case "zero items folds to init" `Quick (fun () ->
+      Alcotest.(check int) "items:0" 0
+        (Par_fold.fold ~domains:4 ~items:0
+           ~init:(fun () -> 0)
+           ~step:(fun _ _ -> Alcotest.fail "step ran on empty fold")
+           ~merge:( + ) ());
+      Alcotest.(check (float 0.)) "sum over nothing" 0. (Par_fold.sum ~domains:2 ~items:0 f));
+    Alcotest.test_case "run_leases returns results in lease order" `Quick (fun () ->
+      let r = Par_fold.run_leases ~domains:4 ~leases:9 (fun i -> i * i) in
+      Alcotest.(check (array int)) "lease order" (Array.init 9 (fun i -> i * i)) r;
+      Alcotest.(check (array int)) "zero leases" [||]
+        (Par_fold.run_leases ~domains:2 ~leases:0 (fun i -> i)));
+    Alcotest.test_case "argument validation" `Quick (fun () ->
+      Alcotest.check_raises "domains:0 rejected"
+        (Invalid_argument "Par_fold.fold: domains must be >= 1") (fun () ->
+          ignore (Par_fold.sum ~domains:0 ~items:3 f));
+      Alcotest.check_raises "leases:0 rejected"
+        (Invalid_argument "Par_fold.fold: leases must be >= 1") (fun () ->
+          ignore (Par_fold.sum ~domains:1 ~leases:0 ~items:3 f));
+      Alcotest.check_raises "negative items rejected"
+        (Invalid_argument "Par_fold.fold: items must be >= 0") (fun () ->
+          ignore (Par_fold.sum ~domains:1 ~items:(-1) f)));
+    Alcotest.test_case "worker exceptions propagate after the join" `Quick (fun () ->
+      Alcotest.check_raises "step exception surfaces" (Failure "boom") (fun () ->
+        ignore
+          (Par_fold.fold ~domains:3 ~items:1_000
+             ~init:(fun () -> 0)
+             ~step:(fun acc k -> if k = 500 then failwith "boom" else acc + 1)
+             ~merge:( + ) ()));
+      (* the abort flag parks the pool: a raising lease must not prevent
+         the join, and the pool is reusable afterwards *)
+      Alcotest.(check (float 0.)) "pool usable after a failed fold"
+        (Par_fold.sum ~domains:3 ~items:100 f)
+        (Par_fold.sum ~domains:1 ~items:100 f));
+  ]
+
 let () =
   Alcotest.run "prob"
     [
@@ -432,4 +513,5 @@ let () =
       ("uniform-sum-prop", uniform_sum_props);
       ("stats-mc", stats_tests);
       ("mc-par", mc_par_tests);
+      ("par-fold", par_fold_tests);
     ]
