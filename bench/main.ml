@@ -32,6 +32,9 @@
                   shedding at saturation)
      x12        - parallel exact paths: lease-sharded grid cells and
                   2^n subset folds (speedup + worker-count bit-identity)
+     x13        - latency telemetry soak: concurrent serve traffic across
+                  every outcome, then an exact reconciliation of the
+                  per-outcome latency histograms against responses_total
 
    -j N runs the Monte-Carlo groups (x8, x10) and the exact group (x12)
    on N worker domains; lease sharding keeps every result bit-identical
@@ -829,6 +832,102 @@ let x12 () =
   Printf.printf "recommended -j on this machine: %d\n" (Mc_par.recommended_domains ())
 
 (* ------------------------------------------------------------------ *)
+(* X13: latency telemetry soak — per-outcome histograms reconcile      *)
+(* ------------------------------------------------------------------ *)
+
+let x13 () =
+  section "X13" "latency telemetry soak: per-outcome histograms reconcile with responses";
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_enabled false)
+    (fun () ->
+      let cfg =
+        {
+          Serve.default_config with
+          Serve.workers = 2;
+          queue_depth = 4;
+          default_budget_ms = 30_000;
+          chaos =
+            Some
+              { Serve.slow_rate = 0.25; slow_s = 0.15; panic_rate = 0.; diskfail_rate = 0.; seed = 13 };
+        }
+      in
+      match Serve.start cfg with
+      | Error e -> Printf.printf "serve failed to start: %s\n" e
+      | Ok t ->
+        let port = Serve.port t in
+        let keys =
+          List.init 20 (fun i ->
+            Printf.sprintf "{\"rule\":\"threshold\",\"n\":6,\"params\":%.3f}"
+              (0.30 +. (0.02 *. float_of_int i)))
+        in
+        (* cold then warm: every key solved once, then served from cache *)
+        List.iter (fun b -> ignore (http_post ~port ~path:"/eval" b)) keys;
+        List.iter (fun b -> ignore (http_post ~port ~path:"/eval" b)) keys;
+        (* concurrent burst of fresh keys far past the 4-deep watermark,
+           against workers stalled by the chaos knob — colds and sheds mix,
+           with many domains observing terminals at once *)
+        let burst =
+          List.init 16 (fun i ->
+            Printf.sprintf "{\"rule\":\"threshold\",\"n\":3,\"params\":%.4f}"
+              (0.21 +. (0.011 *. float_of_int i)))
+        in
+        let fds = List.map (fun b -> http_post_open ~port ~path:"/eval" b) burst in
+        let statuses = List.map (fun fd -> fst (http_read fd)) fds in
+        let count c = List.length (List.filter (( = ) c) statuses) in
+        Printf.printf "burst (16 in-flight): 200:%d 429:%d other:%d\n" (count 200) (count 429)
+          (List.length statuses - count 200 - count 429);
+        (* one malformed body exercises the error outcome *)
+        ignore (http_post ~port ~path:"/eval" "{not json");
+        Serve.stop t;
+        let hist name =
+          match Metrics.find name with
+          | Some { Metrics.value = Metrics.Histogram_v { bounds; counts; sum; count }; _ } ->
+            (bounds, counts, sum, count)
+          | _ -> ([||], [| 0 |], 0., 0)
+        in
+        let counter name =
+          match Metrics.find name with
+          | Some { Metrics.value = Metrics.Counter_v v; _ } -> v
+          | _ -> 0
+        in
+        let row ?(scale = 1e3) label (bounds, counts, sum, count) =
+          let q p = Export.histogram_quantile ~bounds ~counts p in
+          Printf.printf "  %-24s %8d %10.3f %10.2f %10.2f %10.2f\n" label count sum
+            (scale *. q 0.5) (scale *. q 0.99) (scale *. q 0.999)
+        in
+        Printf.printf "\n%-26s %8s %10s %10s %10s %10s\n" "phase" "count" "sum" "p50(ms)"
+          "p99(ms)" "p999(ms)";
+        List.iter
+          (fun n -> row n (hist ("ddm_serve_" ^ n ^ "_seconds")))
+          [ "queue_wait"; "solve"; "cache_lookup" ];
+        row ~scale:1. "budget_used (ratio)" (hist "ddm_serve_budget_used_ratio");
+        Printf.printf "\n%-26s %8s %10s %10s %10s %10s\n" "outcome" "count" "sum" "p50(ms)"
+          "p99(ms)" "p999(ms)";
+        let labels =
+          [ "hit_lru"; "hit_disk"; "cold"; "shed"; "expired_queued"; "timeout"; "error" ]
+        in
+        List.iter (fun l -> row l (hist ("ddm_serve_request_seconds_" ^ l))) labels;
+        row "all outcomes" (hist "ddm_serve_request_seconds");
+        let responses = counter "ddm_serve_responses_total" in
+        let outcome_total =
+          List.fold_left
+            (fun acc l ->
+              let _, _, _, c = hist ("ddm_serve_request_seconds_" ^ l) in
+              acc + c)
+            0 labels
+        in
+        let _, _, _, total_c = hist "ddm_serve_request_seconds" in
+        let _, _, _, budget_c = hist "ddm_serve_budget_used_ratio" in
+        let ok = outcome_total = responses && total_c = responses && budget_c = responses in
+        Printf.printf
+          "\nreconcile: responses_total=%d sum(outcomes)=%d all-outcome=%d budget_used=%d -> %s\n"
+          responses outcome_total total_c budget_c
+          (if ok then "EXACT" else "MISMATCH");
+        if not ok then failwith "x13: histogram totals do not reconcile with responses_total")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -927,7 +1026,7 @@ let groups =
     ("fig1", fig1); ("fig2", fig2); ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4);
     ("l1", l1); ("p1", p1); ("x1", x1); ("x2", x2); ("x3", x3); ("x4", x4);
     ("x5", x5); ("x6", x6); ("x7", x7); ("x8", x8); ("x10", x10); ("x11", x11);
-    ("x12", x12);
+    ("x12", x12); ("x13", x13);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -1067,9 +1067,15 @@ let obs_cmd =
 
 let serve_cmd =
   let run port workers solver_jobs queue_depth budget_ms lru_cap cache_dir ledger duration
-      chaos_slow chaos_slow_s chaos_panic chaos_diskfail chaos_seed =
+      slow_ms trace_out log_level log_json chaos_slow chaos_slow_s chaos_panic chaos_diskfail
+      chaos_seed =
     Metrics.set_enabled true;
     Trace.set_enabled true;
+    (match (log_level, log_json) with
+    | (Some _ as l), _ -> Logx.set_level l
+    | None, true -> Logx.set_level (Some Logx.Info)
+    | None, false -> ());
+    if log_json then Logx.set_format Logx.Json;
     let chaos =
       if chaos_slow > 0. || chaos_panic > 0. || chaos_diskfail > 0. then
         Some
@@ -1093,6 +1099,7 @@ let serve_cmd =
         lru_cap;
         cache_dir;
         ledger_file = ledger;
+        slow_request_s = float_of_int slow_ms /. 1000.;
         chaos;
       }
     in
@@ -1114,8 +1121,8 @@ let serve_cmd =
       (try Sys.set_signal Sys.sigint handler with Invalid_argument _ | Sys_error _ -> ());
       (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ | Sys_error _ -> ());
       Printf.printf
-        "serve: listening http://127.0.0.1:%d (POST /eval, GET /cache/stats + obs routes), %d \
-         workers x %d solver domain(s), queue %d%s%s\n\
+        "serve: listening http://127.0.0.1:%d (POST /eval, GET /stats, GET /cache/stats + obs \
+         routes), %d workers x %d solver domain(s), queue %d%s%s\n\
          %!"
         (Serve.port t) workers solver_jobs queue_depth
         (match cache_dir with Some d -> Printf.sprintf ", cache %s" d | None -> ", memory-only")
@@ -1133,6 +1140,16 @@ let serve_cmd =
          rest explicitly, then exit 0 *)
       Serve.stop t;
       Snapring.stop ();
+      (match trace_out with
+      | None -> ()
+      | Some file ->
+        (* request + solve spans from every domain, with the snapshot
+           ring as counter/histogram tracks, in one Perfetto-loadable
+           document *)
+        (try
+           Chrome_trace.write ~file ~counters:(Snapring.samples ()) (Trace.live_spans ());
+           Printf.printf "serve: trace written to %s\n%!" file
+         with Sys_error msg -> Printf.eprintf "ddm serve: cannot write trace: %s\n%!" msg));
       Printf.printf "serve: drained and stopped\n%!"
   in
   let port_arg =
@@ -1201,6 +1218,25 @@ let serve_cmd =
       & info [ "duration" ] ~docv:"SECS"
           ~doc:"Drain and stop after $(docv) seconds (default: run until SIGINT/SIGTERM).")
   in
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt (pos_int "slow threshold") 1000
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Requests slower than $(docv) emit a structured serve.slow_request log record \
+             with the per-phase breakdown (queue wait, solve).")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "On shutdown, write a Chrome trace-event JSON file (open in Perfetto): one \
+             serve.request.<outcome> span per request lined up with the worker solve spans, \
+             plus counter and histogram count/sum tracks from the snapshot ring.")
+  in
   let rate name doc =
     Arg.(value & opt float 0. & info [ name ] ~docv:"RATE" ~doc)
   in
@@ -1227,8 +1263,9 @@ let serve_cmd =
           queue, and a supervised solver-worker pool; SIGTERM drains gracefully.")
     Term.(
       const run $ port_arg $ workers_arg $ solver_jobs_arg $ queue_arg $ budget_arg $ lru_arg
-      $ cache_dir_arg $ serve_ledger_arg $ duration_arg $ chaos_slow_arg $ chaos_slow_s_arg
-      $ chaos_panic_arg $ chaos_diskfail_arg $ chaos_seed_arg)
+      $ cache_dir_arg $ serve_ledger_arg $ duration_arg $ slow_ms_arg $ trace_out_arg $ log_arg
+      $ log_json_arg $ chaos_slow_arg $ chaos_slow_s_arg $ chaos_panic_arg $ chaos_diskfail_arg
+      $ chaos_seed_arg)
 
 let () =
   let info =

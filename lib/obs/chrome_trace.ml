@@ -71,6 +71,31 @@ let json ?(counters = []) spans =
               (Printf.sprintf ",\"args\":{\"value\":%d}" v))
         c.Snapring.counters)
     counters;
+  (* histogram tracks: each sampled histogram contributes a [name_count]
+     and a [name_sum] counter track, so request rate and latency mass plot
+     over time next to the spans; never-observed histograms are skipped
+     like constant-zero counters *)
+  let live_histograms =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (c : Snapring.sample) ->
+           List.filter_map
+             (fun (k, (n, _)) -> if n <> 0 then Some k else None)
+             c.Snapring.histograms)
+         counters)
+  in
+  List.iter
+    (fun (c : Snapring.sample) ->
+      List.iter
+        (fun (k, (n, sum)) ->
+          if List.mem k live_histograms then begin
+            emit ~ph:"C" ~name:(k ^ "_count") ~tid:0 ~ts_us:(ts_of c.Snapring.t_s)
+              (Printf.sprintf ",\"args\":{\"value\":%d}" n);
+            emit ~ph:"C" ~name:(k ^ "_sum") ~tid:0 ~ts_us:(ts_of c.Snapring.t_s)
+              (Printf.sprintf ",\"args\":{\"value\":%s}" (Jsonx.to_string (Jsonx.Num sum)))
+          end)
+        c.Snapring.histograms)
+    counters;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf
 

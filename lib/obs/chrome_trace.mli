@@ -5,7 +5,9 @@
     the domain it ran on ([span.tid]), carrying the span's GC allocation
     delta as event args; tracks are labeled ["domain N"] via thread_name
     metadata events.  An optional {!Snapring} history adds counter events
-    (ph ["C"]) so metric evolution can be read against the span timeline.
+    (ph ["C"]) so metric evolution can be read against the span timeline;
+    sampled histograms contribute [name_count] and [name_sum] tracks, so
+    request rate and latency mass plot over time next to the spans.
     Timestamps are rebased on the earliest span so traces start at 0.
 
     Typical use: run with tracing enabled, then
@@ -15,7 +17,8 @@
 val json : ?counters:Snapring.sample list -> Trace.span list -> string
 (** Render a complete trace document
     ([{"displayTimeUnit":"ms","traceEvents":[...]}], newline-terminated).
-    Counters that are zero in every sample are omitted. *)
+    Counters that are zero in every sample — and histograms with no
+    observations in any sample — are omitted. *)
 
 val write : file:string -> ?counters:Snapring.sample list -> Trace.span list -> unit
 (** {!json} written to [file] (truncating). *)

@@ -37,6 +37,38 @@ let cumulative counts =
       !acc)
     counts
 
+(* Prometheus-style histogram_quantile over per-bucket counts: find the
+   bucket holding the q-th observation and interpolate linearly inside it
+   (lower bound 0 for the first bucket, since these histograms hold
+   nonnegative durations).  Observations in the +Inf overflow bucket have
+   no upper bound to interpolate toward, so a rank landing there reports
+   the highest finite bound — a floor, the honest answer a fixed-bucket
+   histogram can give. *)
+let histogram_quantile ~bounds ~counts q =
+  if not (q >= 0. && q <= 1.) then invalid_arg "Export.histogram_quantile: q outside [0, 1]";
+  if Array.length counts <> Array.length bounds + 1 then
+    invalid_arg "Export.histogram_quantile: counts must be bounds + 1 long";
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.
+  else begin
+    let rank = q *. float_of_int total in
+    let k = Array.length bounds in
+    let rec find i cum =
+      if i >= k then bounds.(k - 1)
+      else
+        let cum' = cum + counts.(i) in
+        if float_of_int cum' >= rank then begin
+          let lo = if i = 0 then 0. else bounds.(i - 1) in
+          let hi = bounds.(i) in
+          let in_bucket = counts.(i) in
+          if in_bucket = 0 then hi
+          else lo +. ((hi -. lo) *. (rank -. float_of_int cum) /. float_of_int in_bucket)
+        end
+        else find (i + 1) cum'
+    in
+    find 0 0
+  end
+
 (* ------------------------------ table ------------------------------ *)
 
 let to_table samples =

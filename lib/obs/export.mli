@@ -43,3 +43,13 @@ val json_of_samples : Metrics.sample list -> string
 (** A single JSON object grouping the snapshot by kind:
     [{"counters":{...},"gauges":{...},"histograms":{...}}].  Used by
     [bench --report]. *)
+
+val histogram_quantile : bounds:float array -> counts:int array -> float -> float
+(** Prometheus-style quantile estimate from per-bucket (non-cumulative)
+    counts with the overflow slot last, as in {!Metrics.Histogram_v}:
+    linear interpolation inside the bucket holding the [q]-th observation
+    (the first bucket interpolates up from 0).  A rank landing in the
+    overflow bucket reports the highest finite bound.  0 when the
+    histogram is empty.  Powers the serve [/stats] p50/p90/p99/p999.
+    @raise Invalid_argument when [q] is outside [0, 1] or the array
+    lengths disagree. *)

@@ -136,6 +136,14 @@ let history_json () =
              ("counters",
               Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Num (float_of_int v))) s.Snapring.counters));
              ("gauges", Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Num v)) s.Snapring.gauges));
+             ("histograms",
+              Jsonx.Obj
+                (List.map
+                   (fun (k, (n, sum)) ->
+                     ( k,
+                       Jsonx.Obj
+                         [ ("count", Jsonx.Num (float_of_int n)); ("sum", Jsonx.Num sum) ] ))
+                   s.Snapring.histograms));
            ])
        (Snapring.samples ()))
 

@@ -3,10 +3,18 @@
    is gated on the single [on] flag so the disabled path is one
    load-and-branch with no allocation.
 
-   Counter cells are atomic so instrumented code keeps counting correctly
-   from Monte-Carlo worker domains (Mc_par); gauges and histograms stay
-   plain — they are only written from the main domain (the parallel
-   runners merge per-worker tallies on join and publish once).
+   Every metric kind is domain-safe: counter cells are atomic ints,
+   gauges are atomic float cells, and histograms keep their per-bucket
+   tallies in an array of atomic ints with the running sum maintained by
+   compare-and-swap — so instrumented code may update from any domain
+   (Monte-Carlo workers, serve solver workers, the watchdog) without
+   losing or tearing an observation.
+
+   Float atomics use a one-field ref behind the Atomic and swap the whole
+   ref: [Atomic.compare_and_set] compares physically, and a raw
+   [float Atomic.t] would risk the compiler reboxing the compare witness
+   between the read and the CAS (boxed floats have no stable identity
+   guarantee); a ref allocated by us does not move.
 
    The registry table itself is guarded by a mutex: the live observability
    plane (Httpd, Snapring) snapshots from its own domains, and an unguarded
@@ -14,15 +22,26 @@
    registration and snapshotting take the lock — the update hot path never
    touches the table, it holds the metric cell directly. *)
 
+module Afloat = struct
+  type t = float ref Atomic.t
+
+  let make v = Atomic.make (ref v)
+  let get (t : t) = !(Atomic.get t)
+  let set (t : t) v = Atomic.set t (ref v)
+
+  let rec add (t : t) v =
+    let cur = Atomic.get t in
+    if not (Atomic.compare_and_set t cur (ref (!cur +. v))) then add t v
+end
+
 type counter = { c_name : string; c_value : int Atomic.t }
-type gauge = { g_name : string; mutable g_value : float }
+type gauge = { g_name : string; g_value : Afloat.t }
 
 type histogram = {
   h_name : string;
   bounds : float array; (* strictly increasing upper bounds *)
-  counts : int array; (* length bounds + 1; last slot is the +Inf overflow *)
-  mutable h_sum : float;
-  mutable h_count : int;
+  counts : int Atomic.t array; (* length bounds + 1; last slot is the +Inf overflow *)
+  h_sum : Afloat.t;
 }
 
 type metric = C of counter | G of gauge | H of histogram
@@ -62,7 +81,7 @@ let gauge ?(help = "") name =
   | Some { metric = G g; _ } -> g
   | Some _ -> kind_mismatch name
   | None -> (
-    match register name help (G { g_name = name; g_value = 0. }) with
+    match register name help (G { g_name = name; g_value = Afloat.make 0. }) with
     | G g -> g
     | _ -> assert false)
 
@@ -88,12 +107,19 @@ let histogram ?(help = "") ~buckets name =
       {
         h_name = name;
         bounds = Array.copy buckets;
-        counts = Array.make (Array.length buckets + 1) 0;
-        h_sum = 0.;
-        h_count = 0;
+        counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+        h_sum = Afloat.make 0.;
       }
     in
     match register name help (H h) with H h -> h | _ -> assert false)
+
+let exponential_buckets ~start ~factor ~count =
+  if not (start > 0. && Float.is_finite start) then
+    invalid_arg "Metrics.exponential_buckets: start must be positive";
+  if not (factor > 1. && Float.is_finite factor) then
+    invalid_arg "Metrics.exponential_buckets: factor must be > 1";
+  if count < 1 then invalid_arg "Metrics.exponential_buckets: count must be >= 1";
+  Array.init count (fun i -> start *. (factor ** float_of_int i))
 
 let incr c = if !on then Atomic.incr c.c_value
 
@@ -103,7 +129,8 @@ let add c k =
     ignore (Atomic.fetch_and_add c.c_value k)
   end
 
-let set g v = if !on then g.g_value <- v
+let set g v = if !on then Afloat.set g.g_value v
+let add_gauge g v = if !on then Afloat.add g.g_value v
 
 let observe h v =
   if !on then begin
@@ -112,13 +139,20 @@ let observe h v =
     while !i < k && v > h.bounds.(!i) do
       Stdlib.incr i
     done;
-    h.counts.(!i) <- h.counts.(!i) + 1;
-    h.h_sum <- h.h_sum +. v;
-    h.h_count <- h.h_count + 1
+    Atomic.incr h.counts.(!i);
+    Afloat.add h.h_sum v
   end
 
 let counter_value c = Atomic.get c.c_value
-let gauge_value g = g.g_value
+let gauge_value g = Afloat.get g.g_value
+
+(* The copy is the snapshot: its total IS the count, so a reader's
+   cumulative +Inf bucket always equals the count it reports, even while
+   writers race (an in-flight [observe] is either wholly before or wholly
+   after the per-bucket loads it straddles — per bucket, never torn). *)
+let histogram_counts h = Array.map Atomic.get h.counts
+let histogram_sum h = Afloat.get h.h_sum
+let histogram_count h = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.counts
 
 type value =
   | Counter_v of int
@@ -131,10 +165,16 @@ let sample_of name { metric; help } =
   let value =
     match metric with
     | C c -> Counter_v (Atomic.get c.c_value)
-    | G g -> Gauge_v g.g_value
+    | G g -> Gauge_v (Afloat.get g.g_value)
     | H h ->
+      let counts = histogram_counts h in
       Histogram_v
-        { bounds = Array.copy h.bounds; counts = Array.copy h.counts; sum = h.h_sum; count = h.h_count }
+        {
+          bounds = Array.copy h.bounds;
+          counts;
+          sum = Afloat.get h.h_sum;
+          count = Array.fold_left ( + ) 0 counts;
+        }
   in
   { name; help; value }
 
@@ -145,9 +185,8 @@ let snapshot () =
 let find name = locked @@ fun () -> Option.map (sample_of name) (Hashtbl.find_opt registry name)
 
 (* Cheap per-kind readings for the periodic snapshot ring (Snapring): no
-   histogram array copies, just the scalar cells.  Counter reads are
-   atomic; gauge reads of another domain's in-flight store return the old
-   or the new value (floats are word-sized), never garbage. *)
+   bound-array copies, just the scalar cells (a histogram's scalars are
+   its count and sum — enough to plot request rate and latency mass). *)
 let counter_samples () =
   locked (fun () ->
     Hashtbl.fold
@@ -160,7 +199,17 @@ let gauge_samples () =
   locked (fun () ->
     Hashtbl.fold
       (fun name { metric; _ } acc ->
-        match metric with G g -> (name, g.g_value) :: acc | _ -> acc)
+        match metric with G g -> (name, Afloat.get g.g_value) :: acc | _ -> acc)
+      registry [])
+  |> List.sort compare
+
+let histogram_samples () =
+  locked (fun () ->
+    Hashtbl.fold
+      (fun name { metric; _ } acc ->
+        match metric with
+        | H h -> (name, (histogram_count h, Afloat.get h.h_sum)) :: acc
+        | _ -> acc)
       registry [])
   |> List.sort compare
 
@@ -170,9 +219,8 @@ let reset () =
     (fun _ { metric; _ } ->
       match metric with
       | C c -> Atomic.set c.c_value 0
-      | G g -> g.g_value <- 0.
+      | G g -> Afloat.set g.g_value 0.
       | H h ->
-        Array.fill h.counts 0 (Array.length h.counts) 0;
-        h.h_sum <- 0.;
-        h.h_count <- 0)
+        Array.iter (fun c -> Atomic.set c 0) h.counts;
+        Afloat.set h.h_sum 0.)
     registry

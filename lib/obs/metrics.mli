@@ -12,13 +12,17 @@
     if the kind or buckets differ), which lets distant modules share a
     counter by name.
 
-    Domain-safety: counter updates are atomic, so instrumented code may run
-    inside Monte-Carlo worker domains (see [Mc_par]) without losing
-    increments.  Gauges and histograms are {e not} synchronized — update
-    them from the main domain only (the parallel runners accumulate
-    per-worker tallies and publish gauge values once, after the join).
-    The registry table itself is mutex-guarded, so {!snapshot} (and the
-    live [/metrics] endpoint built on it) may run concurrently with
+    Domain-safety: {e every} update is atomic — counters and per-bucket
+    histogram tallies are atomic ints, gauges and histogram sums are
+    atomic float cells maintained by compare-and-swap — so instrumented
+    code may {!incr}/{!set}/{!observe} from any domain (Monte-Carlo
+    workers, serve solver workers, supervisors) without losing or tearing
+    an update.  Snapshots are exact under concurrent writers: a
+    histogram's reported [count] is computed from the same per-bucket
+    loads as its [counts], so the cumulative +Inf bucket always equals
+    the count ([observe] adds to exactly one bucket, atomically).  The
+    registry table itself is mutex-guarded, so {!snapshot} (and the live
+    [/metrics] endpoint built on it) may run concurrently with
     registrations from any domain. *)
 
 type counter
@@ -47,7 +51,13 @@ val histogram : ?help:string -> buckets:float array -> string -> histogram
     @raise Invalid_argument on empty or non-increasing bounds, or if the
     name is already registered with different bounds. *)
 
-(** {1 Updates (no-ops while disabled)} *)
+val exponential_buckets : start:float -> factor:float -> count:int -> float array
+(** [count] log-spaced upper bounds [start * factor^i], the standard
+    latency-histogram shape (e.g. [~start:5e-4 ~factor:2. ~count:16] spans
+    0.5 ms to ~16 s).
+    @raise Invalid_argument unless [start > 0], [factor > 1], [count >= 1]. *)
+
+(** {1 Updates (no-ops while disabled; all safe from any domain)} *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
@@ -55,6 +65,9 @@ val add : counter -> int -> unit
     monotonic. *)
 
 val set : gauge -> float -> unit
+val add_gauge : gauge -> float -> unit
+(** Atomic read-modify-write; concurrent adds never lose an update. *)
+
 val observe : histogram -> float -> unit
 
 (** {1 Reading} *)
@@ -62,12 +75,21 @@ val observe : histogram -> float -> unit
 val counter_value : counter -> int
 val gauge_value : gauge -> float
 
+val histogram_counts : histogram -> int array
+(** Per-bucket (not cumulative) counts with the overflow slot last —
+    a fresh copy, one atomic load per bucket. *)
+
+val histogram_sum : histogram -> float
+val histogram_count : histogram -> int
+
 type value =
   | Counter_v of int
   | Gauge_v of float
   | Histogram_v of { bounds : float array; counts : int array; sum : float; count : int }
       (** [counts] are per-bucket (not cumulative) and carry one extra
-          overflow slot: [Array.length counts = Array.length bounds + 1]. *)
+          overflow slot: [Array.length counts = Array.length bounds + 1].
+          [count] is computed from the same loads as [counts], so the two
+          always reconcile exactly, even mid-run. *)
 
 type sample = { name : string; help : string; value : value }
 
@@ -83,6 +105,12 @@ val counter_samples : unit -> (string * int) list
 
 val gauge_samples : unit -> (string * float) list
 (** Every registered gauge's current value, sorted by name. *)
+
+val histogram_samples : unit -> (string * (int * float)) list
+(** Every registered histogram's current [(count, sum)], sorted by name —
+    the scalar pair the snapshot ring records so request-rate and
+    latency-mass evolution survive into [/snapshot] history and the
+    Chrome-trace counter tracks. *)
 
 val reset : unit -> unit
 (** Zero every registered metric's value; registrations survive. *)

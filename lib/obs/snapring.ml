@@ -5,7 +5,12 @@
    the Chrome trace export.  All ring access is mutex-guarded; samples are
    immutable once stored. *)
 
-type sample = { t_s : float; counters : (string * int) list; gauges : (string * float) list }
+type sample = {
+  t_s : float;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * (int * float)) list; (* name -> (count, sum) *)
+}
 
 type state = {
   mutable ring : sample array; (* capacity slots; dummy-filled until written *)
@@ -13,7 +18,7 @@ type state = {
   mutable total : int; (* samples ever written; min(total, capacity) are live *)
 }
 
-let dummy = { t_s = nan; counters = []; gauges = [] }
+let dummy = { t_s = nan; counters = []; gauges = []; histograms = [] }
 let mu = Mutex.create ()
 let state = { ring = [||]; next = 0; total = 0 }
 
@@ -26,7 +31,12 @@ let default_period_s = 0.25
 
 let sample_now () =
   let s =
-    { t_s = Unix.gettimeofday (); counters = Metrics.counter_samples (); gauges = Metrics.gauge_samples () }
+    {
+      t_s = Unix.gettimeofday ();
+      counters = Metrics.counter_samples ();
+      gauges = Metrics.gauge_samples ();
+      histograms = Metrics.histogram_samples ();
+    }
   in
   locked (fun () ->
     let cap = Array.length state.ring in

@@ -1,10 +1,13 @@
 (** Periodic metrics-snapshot ring buffer.
 
     {!start} spawns a sampler domain that records the scalar metrics
-    (atomic counters and gauges, via {!Metrics.counter_samples} /
-    {!Metrics.gauge_samples}) every [period_s] into a fixed-capacity ring;
-    the oldest samples are overwritten.  The ring powers the /snapshot
-    endpoint's history and the counter track of the Chrome trace export.
+    (counters, gauges, and each histogram's count/sum pair, via
+    {!Metrics.counter_samples} / {!Metrics.gauge_samples} /
+    {!Metrics.histogram_samples}) every [period_s] into a fixed-capacity
+    ring; the oldest samples are overwritten.  The ring powers the
+    /snapshot endpoint's history and the counter tracks of the Chrome
+    trace export (histograms appear there as [name_count] and [name_sum]
+    tracks, so request rate and latency mass plot over time).
 
     The sampler runs off the main domain, so counters read mid-run are the
     live atomic values; one extra mostly-sleeping domain is the whole cost.
@@ -14,6 +17,9 @@ type sample = {
   t_s : float;  (** Unix epoch seconds at sampling time *)
   counters : (string * int) list;  (** sorted by name *)
   gauges : (string * float) list;  (** sorted by name *)
+  histograms : (string * (int * float)) list;
+      (** per-histogram [(count, sum)], sorted by name — request-rate and
+          latency-mass evolution without copying bucket arrays *)
 }
 
 val start : ?period_s:float -> ?capacity:int -> unit -> unit

@@ -140,6 +140,25 @@ let with_span name f =
       f
   end
 
+(* Synthetic spans for intervals that no single [with_span] can cover —
+   e.g. a serve request admitted on the Httpd domain and answered from a
+   worker.  The caller supplies the wall-clock start and the (monotonic)
+   duration; GC deltas are meaningless across domains and stay zero. *)
+let emit ?(depth = 0) ~name ~start_s ~dur_s () =
+  if !on then
+    record
+      {
+        name;
+        depth;
+        tid = (Domain.self () :> int);
+        start_s;
+        dur_s = Float.max 0. dur_s;
+        minor_words = 0.;
+        major_words = 0.;
+        minor_collections = 0;
+        major_collections = 0;
+      }
+
 let spans () =
   List.stable_sort
     (fun a b -> compare (a.start_s, a.depth) (b.start_s, b.depth))

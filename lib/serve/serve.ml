@@ -3,7 +3,18 @@
    strength.  The one invariant everything here defends: every accepted
    request gets exactly one terminal response — enforced by a per-job
    atomic CAS, with the watchdog and the drain path answering for
-   workers that cannot. *)
+   workers that cannot.
+
+   Telemetry rides the same invariant: every job is stamped at
+   admission, dequeue, solve start and solve end, and the winner of the
+   terminal CAS (worker, watchdog, or drain path — whichever domain it
+   is on) observes the request's total latency into exactly one
+   per-outcome histogram, plus the deadline-budget-consumed histogram,
+   and emits a synthetic request span on its own trace track.  Outcome
+   histograms therefore reconcile exactly with the terminal-response
+   counter at quiescence; the ordering discipline (observe before
+   counting the response) means a mid-flight scrape can only ever see
+   outcome mass >= responses, never behind. *)
 
 let m_requests = Metrics.counter ~help:"Eval requests received" "ddm_serve_requests_total"
 let m_shed = Metrics.counter ~help:"Eval requests shed at the queue watermark" "ddm_serve_shed_total"
@@ -11,7 +22,7 @@ let m_hits = Metrics.counter ~help:"Answer-cache hits (both tiers)" "ddm_serve_c
 let m_misses = Metrics.counter ~help:"Answer-cache misses" "ddm_serve_cache_misses_total"
 
 let m_responses =
-  Metrics.counter ~help:"Terminal responses sent for accepted eval jobs" "ddm_serve_responses_total"
+  Metrics.counter ~help:"Terminal responses sent (inline and deferred)" "ddm_serve_responses_total"
 
 let m_deadline =
   Metrics.counter ~help:"Eval jobs that expired their deadline budget"
@@ -22,6 +33,79 @@ let m_respawns =
 
 let m_write_failures =
   Metrics.counter ~help:"Durable cache writes that failed" "ddm_serve_cache_write_failures_total"
+
+(* --------------------------- latency metrics ------------------------- *)
+
+(* 0.5 ms .. ~16 s in sixteen log-spaced buckets — wide enough for both a
+   sub-millisecond LRU hit and a budget-bounded exact solve. *)
+let latency_buckets = Metrics.exponential_buckets ~start:5e-4 ~factor:2. ~count:16
+
+let h_queue_wait =
+  Metrics.histogram ~buckets:latency_buckets
+    ~help:"Admission-to-dequeue wait for accepted eval jobs (seconds)"
+    "ddm_serve_queue_wait_seconds"
+
+let h_solve =
+  Metrics.histogram ~buckets:latency_buckets
+    ~help:"Time spent in Solver.solve per attempt, including cancelled ones (seconds)"
+    "ddm_serve_solve_seconds"
+
+let h_cache_lookup =
+  Metrics.histogram ~buckets:latency_buckets
+    ~help:"Answer-cache lookup latency at admission, both tiers (seconds)"
+    "ddm_serve_cache_lookup_seconds"
+
+(* Fraction of the request's deadline budget consumed at the terminal
+   response; > 1 means the answer went out past its own deadline. *)
+let budget_used_buckets = [| 0.05; 0.1; 0.25; 0.5; 0.75; 0.9; 1.0; 1.25; 2.0; 5.0 |]
+
+let h_budget_used =
+  Metrics.histogram ~buckets:budget_used_buckets
+    ~help:"Fraction of the deadline budget consumed at the terminal response"
+    "ddm_serve_budget_used_ratio"
+
+let g_queue_depth =
+  Metrics.gauge ~help:"Eval queue depth, sampled by the watchdog" "ddm_serve_queue_depth"
+
+(* Every terminal response lands in exactly one of these outcomes; the
+   total across the seven histogram counts reconciles with
+   [ddm_serve_responses_total] (and with [h_budget_used]'s count). *)
+type outcome = Hit_lru | Hit_disk | Cold | Shed | Expired_queued | Timeout | Failed
+
+let all_outcomes = [ Hit_lru; Hit_disk; Cold; Shed; Expired_queued; Timeout; Failed ]
+
+let outcome_label = function
+  | Hit_lru -> "hit_lru"
+  | Hit_disk -> "hit_disk"
+  | Cold -> "cold"
+  | Shed -> "shed"
+  | Expired_queued -> "expired_queued"
+  | Timeout -> "timeout"
+  | Failed -> "error"
+
+let request_seconds_help = function
+  | Hit_lru -> "Total latency of requests answered from the in-memory LRU tier"
+  | Hit_disk -> "Total latency of requests answered from the durable cache tier"
+  | Cold -> "Total latency of requests solved cold"
+  | Shed -> "Total latency of requests shed at the queue watermark"
+  | Expired_queued -> "Total latency of requests whose deadline expired while queued"
+  | Timeout -> "Total latency of requests whose solve exceeded the deadline"
+  | Failed -> "Total latency of requests answered with an error (400/500/503)"
+
+let h_total =
+  Metrics.histogram ~buckets:latency_buckets
+    ~help:"Total request latency, admission to terminal response, all outcomes (seconds)"
+    "ddm_serve_request_seconds"
+
+let outcome_histograms =
+  List.map
+    (fun o ->
+      ( o,
+        Metrics.histogram ~buckets:latency_buckets ~help:(request_seconds_help o)
+          ("ddm_serve_request_seconds_" ^ outcome_label o) ))
+    all_outcomes
+
+let h_outcome o = List.assq o outcome_histograms
 
 type chaos = {
   slow_rate : float;
@@ -44,6 +128,7 @@ type config = {
   ledger_file : string option;
   ledger_rotate_bytes : int;
   drain_deadline_s : float;
+  slow_request_s : float;
   limits : Httpd.limits;
   chaos : chaos option;
 }
@@ -62,6 +147,7 @@ let default_config =
     ledger_file = None;
     ledger_rotate_bytes = 4 * 1024 * 1024;
     drain_deadline_s = 5.0;
+    slow_request_s = 1.0;
     limits = Httpd.default_limits;
     chaos = None;
   }
@@ -74,6 +160,14 @@ type job = {
   budget_ms : int;
   deadline_mono_s : float;
   responded : bool Atomic.t;
+  (* phase stamps: admission is immutable, the rest are written by the
+     worker that owns the job and read by whichever domain answers (the
+     watchdog may answer for a wedged worker), hence atomic *)
+  t_admit_mono_s : float;
+  t_admit_wall_s : float;
+  t_dequeue_mono_s : float Atomic.t;  (** 0 until dequeued *)
+  t_solve_start_mono_s : float Atomic.t;  (** 0 until the solve starts *)
+  t_solve_end_mono_s : float Atomic.t;  (** 0 until the solve returns *)
 }
 
 type worker = {
@@ -102,6 +196,10 @@ type t = {
   watchdog_stop : bool Atomic.t;
   mutable watchdog : unit Domain.t option;
   started_mono_s : float;
+  drain_rate : float Atomic.t;
+      (** EWMA of deferred terminal responses per second, maintained by
+          the watchdog; feeds the Retry-After estimate.  Written by one
+          domain, read by the admission path — set/get only, no CAS. *)
   (* terminal-response accounting (exact, independent of the metrics switch) *)
   c_requests : int Atomic.t;
   c_accepted : int Atomic.t;
@@ -202,8 +300,49 @@ let ledger_note t job ~wall_s =
 
 (* -------------------------- exactly-once ---------------------------- *)
 
-let respond_once t job resp =
+(* Per-terminal observation, shared by the inline and deferred paths.
+   Runs on whichever domain won the terminal (Httpd, worker, watchdog, or
+   the drain path): observes the per-outcome and total latency
+   histograms, the budget-consumed ratio, emits a synthetic request span
+   on the observer's trace track (so in Perfetto it lines up with that
+   worker's solve span), and logs a structured record for requests
+   slower than [slow_request_s].  Must run {e before} the responses
+   counter is bumped — see the ordering note at the top of the file. *)
+let observe_terminal t ~outcome ~budget_ms ~start_wall_s ~total_s phase_fields =
+  Metrics.observe (h_outcome outcome) total_s;
+  Metrics.observe h_total total_s;
+  Metrics.observe h_budget_used (total_s /. (float_of_int budget_ms /. 1000.));
+  Trace.emit ~name:("serve.request." ^ outcome_label outcome) ~start_s:start_wall_s
+    ~dur_s:total_s ();
+  if total_s >= t.cfg.slow_request_s && Logx.would_log Logx.Warn then
+    Logx.warn "serve.slow_request"
+      ([ ("outcome", Logx.Str (outcome_label outcome));
+         ("total_ms", Logx.Float (total_s *. 1000.));
+         ("budget_ms", Logx.Int budget_ms) ]
+      @ phase_fields)
+
+(* The phase breakdown a slow-request record carries: whichever stamps
+   the job accumulated before its terminal.  A job answered while still
+   queued has only its wait; a solved one has wait + solve. *)
+let job_phase_fields job ~now =
+  let dequeue = Atomic.get job.t_dequeue_mono_s in
+  let solve0 = Atomic.get job.t_solve_start_mono_s in
+  let solve1 = Atomic.get job.t_solve_end_mono_s in
+  let ms name v = (name, Logx.Float (v *. 1000.)) in
+  [ ("id", Logx.Int job.id); ("key", Logx.Str job.key) ]
+  @ (if dequeue > 0. then [ ms "queue_wait_ms" (dequeue -. job.t_admit_mono_s) ] else [])
+  @
+  if solve0 > 0. then
+    [ ms "solve_ms" ((if solve1 >= solve0 then solve1 else now) -. solve0) ]
+  else []
+
+let respond_once t job ~outcome resp =
   if Atomic.compare_and_set job.responded false true then begin
+    let now = Trace.now_mono_s () in
+    let total_s = now -. job.t_admit_mono_s in
+    observe_terminal t ~outcome ~budget_ms:job.budget_ms ~start_wall_s:job.t_admit_wall_s
+      ~total_s
+      (job_phase_fields job ~now);
     (* count before writing: a client that has seen its terminal response
        must find it already reflected in the stats *)
     Atomic.incr t.c_deferred;
@@ -225,7 +364,7 @@ let run_job t job =
     Atomic.incr t.c_deadline;
     Metrics.incr m_deadline;
     ignore
-      (respond_once t job
+      (respond_once t job ~outcome:Expired_queued
          (Httpd.json ~status:504
             (error_body "deadline"
                ~extra:
@@ -243,22 +382,33 @@ let run_job t job =
        builds stay byte-stable); > 1 fans each solve out over a lease-
        sharded domain pool nested under this worker. *)
     let domains = if t.cfg.solver_domains > 1 then Some t.cfg.solver_domains else None in
+    let solve0 = Trace.now_mono_s () in
+    Atomic.set job.t_solve_start_mono_s solve0;
+    (* observe the solve phase on every exit — success, deadline expiry,
+       rejection — so the histogram counts solve attempts, not answers *)
+    let solve_done () =
+      let solve1 = Trace.now_mono_s () in
+      Atomic.set job.t_solve_end_mono_s solve1;
+      Metrics.observe h_solve (solve1 -. solve0)
+    in
     match Solver.solve ?domains ~deadline_mono_s:job.deadline_mono_s job.jreq with
     | answer ->
+      solve_done ();
       let wall_s = Trace.now_mono_s () -. now in
       Atomic.incr t.c_solved;
       cache_fill t job.key answer;
       ignore
-        (respond_once t job
+        (respond_once t job ~outcome:Cold
            (Httpd.json
               (answer_body ~cached:false ~source:"solver" ~key:job.key answer
                  ~extra:[ ("wall_ms", Jsonx.Num (wall_s *. 1000.)) ])));
       ledger_note t job ~wall_s
     | exception Engine.Cancelled { cells_done; cells_total } ->
+      solve_done ();
       Atomic.incr t.c_deadline;
       Metrics.incr m_deadline;
       ignore
-        (respond_once t job
+        (respond_once t job ~outcome:Timeout
            (Httpd.json ~status:504
               (error_body "deadline"
                  ~extra:
@@ -266,7 +416,8 @@ let run_job t job =
                    :: ("stage", Jsonx.Str "solving")
                    :: progress_fields ~cells_done ~cells_total))))
     | exception Invalid_argument msg ->
-      ignore (respond_once t job (Httpd.json ~status:400 (error_body msg)))
+      solve_done ();
+      ignore (respond_once t job ~outcome:Failed (Httpd.json ~status:400 (error_body msg)))
   end
 
 let rec worker_loop t w =
@@ -276,6 +427,9 @@ let rec worker_loop t w =
     | Workq.Drained -> ()
     | Workq.Empty -> worker_loop t w
     | Workq.Job job ->
+      let dequeued = Trace.now_mono_s () in
+      Atomic.set job.t_dequeue_mono_s dequeued;
+      Metrics.observe h_queue_wait (dequeued -. job.t_admit_mono_s);
       Atomic.set w.current (Some job);
       (* chaos: the worker domain dies mid-job — the watchdog must answer
          for the orphan and respawn the pool *)
@@ -314,8 +468,9 @@ let orphan_response t job ~reason ~status =
     Atomic.incr t.c_deadline;
     Metrics.incr m_deadline
   end;
+  let outcome = if status = 504 then Timeout else Failed in
   ignore
-    (respond_once t job
+    (respond_once t job ~outcome
        (Httpd.json ~status
           (error_body reason ~extra:[ ("budget_ms", Jsonx.Num (float_of_int job.budget_ms)) ])))
 
@@ -363,14 +518,37 @@ let supervise_once t =
     t.pool <- keep @ fresh)
 
 let watchdog_main t () =
+  (* EWMA drain rate from deferred-terminal deltas, refreshed every ~10
+     supervise ticks (~0.5 s); powers the Retry-After estimate *)
+  let prev_count = ref (Atomic.get t.c_deferred) in
+  let prev_t = ref (Trace.now_mono_s ()) in
+  let ticks = ref 0 in
   while not (Atomic.get t.watchdog_stop) do
     (try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
-    if not (Atomic.get t.watchdog_stop) then supervise_once t
+    if not (Atomic.get t.watchdog_stop) then begin
+      supervise_once t;
+      Metrics.set g_queue_depth (float_of_int (Workq.depth t.queue));
+      incr ticks;
+      if !ticks mod 10 = 0 then begin
+        let now = Trace.now_mono_s () in
+        let count = Atomic.get t.c_deferred in
+        let dt = now -. !prev_t in
+        if dt > 0. then begin
+          let inst = float_of_int (count - !prev_count) /. dt in
+          let old = Atomic.get t.drain_rate in
+          Atomic.set t.drain_rate (if old <= 0. then inst else (0.7 *. old) +. (0.3 *. inst))
+        end;
+        prev_count := count;
+        prev_t := now
+      end
+    end
   done
 
 (* ------------------------------- stats ------------------------------ *)
 
-let stats_json t =
+(* The shared body of /cache/stats and /stats: exact per-instance atomic
+   counters plus cache/queue/pool state. *)
+let stats_fields t =
   let i name a = (name, Jsonx.Num (float_of_int (Atomic.get a))) in
   let hits = Atomic.get t.c_hits_lru + Atomic.get t.c_hits_disk in
   let looked = hits + Atomic.get t.c_misses in
@@ -394,10 +572,7 @@ let stats_json t =
           ("quarantined", Jsonx.Num (float_of_int (Cache_store.quarantined_total store)));
           ("recovery", recovery) ]
   in
-  Jsonx.to_string
-    (Jsonx.Obj
-       [ ("schema", Jsonx.Str "ddm.cache.stats/v1");
-         ("uptime_s", Jsonx.Num (Trace.now_mono_s () -. t.started_mono_s));
+  [ ("uptime_s", Jsonx.Num (Trace.now_mono_s () -. t.started_mono_s));
          ("draining", Jsonx.Bool (Atomic.get t.draining));
          i "requests" t.c_requests;
          i "accepted" t.c_accepted;
@@ -425,35 +600,110 @@ let stats_json t =
            Jsonx.Obj
              [ ("pool", Jsonx.Num (float_of_int (Mutex.protect t.pool_mu (fun () -> List.length t.pool))));
                i "panics" t.c_panics; i "respawns" t.c_respawns ] );
-         i "cache_write_failures" t.c_write_failures ])
+         i "cache_write_failures" t.c_write_failures ]
+
+let stats_json t =
+  Jsonx.to_string (Jsonx.Obj (("schema", Jsonx.Str "ddm.cache.stats/v1") :: stats_fields t))
+
+(* SLO summary of one histogram: count, sum, mean and interpolated
+   quantiles from a single consistent copy of the bucket counts. *)
+let histogram_summary ~bounds h =
+  let counts = Metrics.histogram_counts h in
+  let count = Array.fold_left ( + ) 0 counts in
+  let sum = Metrics.histogram_sum h in
+  let q p = Export.histogram_quantile ~bounds ~counts p in
+  Jsonx.Obj
+    [ ("count", Jsonx.Num (float_of_int count));
+      ("sum", Jsonx.Num sum);
+      ("mean", Jsonx.Num (if count = 0 then 0. else sum /. float_of_int count));
+      ("p50", Jsonx.Num (q 0.5));
+      ("p90", Jsonx.Num (q 0.9));
+      ("p99", Jsonx.Num (q 0.99));
+      ("p999", Jsonx.Num (q 0.999)) ]
+
+let latency_json () =
+  Jsonx.Obj
+    [ ("metrics_enabled", Jsonx.Bool (Metrics.enabled ()));
+      ("total", histogram_summary ~bounds:latency_buckets h_total);
+      ( "phases",
+        Jsonx.Obj
+          [ ("queue_wait", histogram_summary ~bounds:latency_buckets h_queue_wait);
+            ("solve", histogram_summary ~bounds:latency_buckets h_solve);
+            ("cache_lookup", histogram_summary ~bounds:latency_buckets h_cache_lookup);
+            ("budget_used", histogram_summary ~bounds:budget_used_buckets h_budget_used) ] );
+      ( "outcomes",
+        Jsonx.Obj
+          (List.map
+             (fun o -> (outcome_label o, histogram_summary ~bounds:latency_buckets (h_outcome o)))
+             all_outcomes) ) ]
+
+let serve_stats_json t =
+  Jsonx.to_string
+    (Jsonx.Obj
+       ((("schema", Jsonx.Str "ddm.serve.stats/v1") :: stats_fields t)
+       @ [ ("latency", latency_json ()) ]))
 
 (* ----------------------------- admission ---------------------------- *)
 
-let retry_after = [ ("Retry-After", "1") ]
+(* Retry-After from the live backlog: estimated seconds to drain the
+   current queue at the recent terminal-response rate (watchdog EWMA),
+   clamped to [1, 60].  Before any completion has been observed the
+   estimate assumes each queued job costs a full default budget spread
+   across the pool. *)
+let retry_after_headers t =
+  let depth = Workq.depth t.queue in
+  let rate = Atomic.get t.drain_rate in
+  let est =
+    if rate > 1e-9 then float_of_int (depth + 1) /. rate
+    else
+      float_of_int (depth + 1)
+      *. (float_of_int t.cfg.default_budget_ms /. 1000.)
+      /. float_of_int t.cfg.workers
+  in
+  let s = max 1 (min 60 (int_of_float (Float.ceil est))) in
+  [ ("Retry-After", string_of_int s) ]
 
-let inline t resp =
+(* Inline terminal: observed with the same discipline as the deferred
+   path (outcome first, then the responses counter), with admission
+   entry as the start stamp. *)
+let inline t ~outcome ~t0_mono ~t0_wall ~budget_ms resp =
+  observe_terminal t ~outcome ~budget_ms ~start_wall_s:t0_wall
+    ~total_s:(Trace.now_mono_s () -. t0_mono)
+    [];
   Atomic.incr t.c_inline;
+  Metrics.incr m_responses;
   Httpd.Respond resp
 
 let handle_eval t (req : Httpd.request) =
+  let t0_mono = Trace.now_mono_s () in
+  let t0_wall = Trace.now_s () in
+  let budget = t.cfg.default_budget_ms in
   Atomic.incr t.c_requests;
   Metrics.incr m_requests;
   if Atomic.get t.draining then
-    inline t (Httpd.json ~status:503 ~headers:retry_after (error_body "draining"))
+    inline t ~outcome:Failed ~t0_mono ~t0_wall ~budget_ms:budget
+      (Httpd.json ~status:503 ~headers:(retry_after_headers t) (error_body "draining"))
   else
     match Solver.parse req.Httpd.req_body with
-    | Error e -> inline t (Httpd.json ~status:400 (error_body e))
+    | Error e ->
+      inline t ~outcome:Failed ~t0_mono ~t0_wall ~budget_ms:budget
+        (Httpd.json ~status:400 (error_body e))
     | Ok r -> (
       let key = Solver.cache_key r in
-      match cache_find t key with
+      let budget_ms = Option.value r.Solver.budget_ms ~default:t.cfg.default_budget_ms in
+      let lookup0 = Trace.now_mono_s () in
+      let found = cache_find t key in
+      Metrics.observe h_cache_lookup (Trace.now_mono_s () -. lookup0);
+      match found with
       | Some (source, answer) ->
+        let outcome = if source = "lru" then Hit_lru else Hit_disk in
         Atomic.incr (if source = "lru" then t.c_hits_lru else t.c_hits_disk);
         Metrics.incr m_hits;
-        inline t (Httpd.json (answer_body ~cached:true ~source ~key answer))
+        inline t ~outcome ~t0_mono ~t0_wall ~budget_ms
+          (Httpd.json (answer_body ~cached:true ~source ~key answer))
       | None -> (
         Atomic.incr t.c_misses;
         Metrics.incr m_misses;
-        let budget_ms = Option.value r.Solver.budget_ms ~default:t.cfg.default_budget_ms in
         let job =
           {
             id = Atomic.fetch_and_add t.next_id 1;
@@ -463,6 +713,11 @@ let handle_eval t (req : Httpd.request) =
             budget_ms;
             deadline_mono_s = Trace.now_mono_s () +. (float_of_int budget_ms /. 1000.);
             responded = Atomic.make false;
+            t_admit_mono_s = t0_mono;
+            t_admit_wall_s = t0_wall;
+            t_dequeue_mono_s = Atomic.make 0.;
+            t_solve_start_mono_s = Atomic.make 0.;
+            t_solve_end_mono_s = Atomic.make 0.;
           }
         in
         match Workq.push t.queue job with
@@ -472,17 +727,19 @@ let handle_eval t (req : Httpd.request) =
         | Workq.Shed ->
           Atomic.incr t.c_shed;
           Metrics.incr m_shed;
-          inline t
-            (Httpd.json ~status:429 ~headers:retry_after
+          inline t ~outcome:Shed ~t0_mono ~t0_wall ~budget_ms
+            (Httpd.json ~status:429 ~headers:(retry_after_headers t)
                (error_body "overloaded"
                   ~extra:[ ("queue_depth", Jsonx.Num (float_of_int (Workq.depth t.queue))) ]))
         | Workq.Closed ->
-          inline t (Httpd.json ~status:503 ~headers:retry_after (error_body "draining"))))
+          inline t ~outcome:Failed ~t0_mono ~t0_wall ~budget_ms
+            (Httpd.json ~status:503 ~headers:(retry_after_headers t) (error_body "draining"))))
 
 let handler t (req : Httpd.request) =
   match (req.Httpd.meth, req.Httpd.path) with
   | "POST", "/eval" -> handle_eval t req
   | ("GET" | "HEAD"), "/cache/stats" -> Httpd.Respond (Httpd.json (stats_json t))
+  | ("GET" | "HEAD"), "/stats" -> Httpd.Respond (Httpd.json (serve_stats_json t))
   | _ -> Httpd.Pass
 
 (* ---------------------------- lifecycle ----------------------------- *)
@@ -495,7 +752,9 @@ let validate cfg =
   if not (cfg.stuck_grace_s > 0.) then invalid_arg "Serve.start: stuck_grace_s must be positive";
   if cfg.lru_cap < 1 then invalid_arg "Serve.start: lru_cap must be >= 1";
   if not (cfg.drain_deadline_s > 0.) then
-    invalid_arg "Serve.start: drain_deadline_s must be positive"
+    invalid_arg "Serve.start: drain_deadline_s must be positive";
+  if not (cfg.slow_request_s > 0.) then
+    invalid_arg "Serve.start: slow_request_s must be positive"
 
 let start cfg =
   validate cfg;
@@ -531,6 +790,7 @@ let start cfg =
       watchdog_stop = Atomic.make false;
       watchdog = None;
       started_mono_s = Trace.now_mono_s ();
+      drain_rate = Atomic.make 0.;
       c_requests = Atomic.make 0;
       c_accepted = Atomic.make 0;
       c_shed = Atomic.make 0;
@@ -595,7 +855,9 @@ let stop ?drain_deadline_s t =
   (* drain deadline passed: fail every remaining accepted job explicitly
      — queued ones 503, in-flight ones 504 — never drop one silently *)
   List.iter
-    (fun job -> ignore (respond_once t job (Httpd.json ~status:503 (error_body "draining"))))
+    (fun job ->
+      ignore
+        (respond_once t job ~outcome:Failed (Httpd.json ~status:503 (error_body "draining"))))
     (Workq.drain_remaining t.queue);
   List.iter
     (fun (w, _) ->
@@ -606,7 +868,7 @@ let stop ?drain_deadline_s t =
           Atomic.set w.current None;
           Atomic.incr t.c_deadline;
           ignore
-            (respond_once t job
+            (respond_once t job ~outcome:Timeout
                (Httpd.json ~status:504 (error_body "deadline" ~extra:[ ("stage", Jsonx.Str "drain") ])))
         | None -> ()
       end)

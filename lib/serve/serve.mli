@@ -24,9 +24,29 @@
       exercised deterministically in tests and soaks.
 
     Endpoints (on top of the observability routes {!Httpd} serves):
-    [POST /eval] (body: {!Solver.parse} wire format) and
+    [POST /eval] (body: {!Solver.parse} wire format),
     [GET /cache/stats] (counters + cache/queue/pool state,
-    [ddm.cache.stats/v1]).
+    [ddm.cache.stats/v1]) and [GET /stats] ([ddm.serve.stats/v1], a
+    superset of [/cache/stats] adding a [latency] section with
+    count/sum/mean/p50/p90/p99/p999 per phase and per outcome; see
+    {!serve_stats_json}).
+
+    {b Request-latency telemetry}: every job is stamped at admission,
+    dequeue, solve start/end and terminal; queue-wait, solve and
+    cache-lookup phases land in log-spaced {!Metrics} histograms, and
+    whichever domain wins the terminal CAS observes the request's
+    total latency into exactly one per-outcome histogram
+    ([ddm_serve_request_seconds_{hit_lru,hit_disk,cold,shed,expired_queued,timeout,error}])
+    plus [ddm_serve_request_seconds] (all outcomes) and the
+    deadline-budget-consumed ratio — so the per-outcome counts, the
+    all-outcome count, the budget-ratio count and
+    [ddm_serve_responses_total] all reconcile exactly at quiescence.
+    Terminals also emit a [serve.request.<outcome>] trace span on the
+    answering domain and a structured [serve.slow_request] log record
+    (with the per-phase breakdown) for requests slower than
+    [slow_request_s].  [Retry-After] on 429/503 is computed from the
+    live queue depth and the watchdog's EWMA of the recent drain rate,
+    clamped to [1, 60] seconds.
 
     {!stop} is the graceful drain: stop accepting, let workers finish
     everything already accepted up to a drain deadline, then fail any
@@ -60,6 +80,8 @@ type config = {
   ledger_file : string option;  (** per-request run ledger (rotated) *)
   ledger_rotate_bytes : int;
   drain_deadline_s : float;
+  slow_request_s : float;
+      (** threshold for the structured [serve.slow_request] log record *)
   limits : Httpd.limits;
   chaos : chaos option;
 }
@@ -67,8 +89,8 @@ type config = {
 val default_config : config
 (** Loopback, ephemeral port, 2 workers of 1 solver domain each, depth
     64, 5 s budget, 0.5 s grace, 256-entry LRU, no durable tier, no
-    ledger, 4 MiB rotation, 5 s drain, {!Httpd.default_limits}, no
-    chaos. *)
+    ledger, 4 MiB rotation, 5 s drain, 1 s slow-request threshold,
+    {!Httpd.default_limits}, no chaos. *)
 
 type t
 
@@ -87,3 +109,13 @@ val stop : ?drain_deadline_s:float -> t -> unit
 
 val stats_json : t -> string
 (** The [GET /cache/stats] document ([ddm.cache.stats/v1]). *)
+
+val serve_stats_json : t -> string
+(** The [GET /stats] document ([ddm.serve.stats/v1]): every
+    [/cache/stats] field plus a [latency] object —
+    [{metrics_enabled; total; phases: {queue_wait; solve; cache_lookup;
+    budget_used}; outcomes: {hit_lru; ...; error}}] — where each leaf
+    carries [count]/[sum]/[mean] and interpolated [p50]/[p90]/[p99]/
+    [p999] computed from the live histogram bucket counts
+    ({!Export.histogram_quantile}).  All zeros while the process-global
+    metrics switch is off ([metrics_enabled] says which). *)

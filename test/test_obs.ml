@@ -203,6 +203,42 @@ let metric_tests =
       let names = List.map (fun (s : Metrics.sample) -> s.name) (Metrics.snapshot ()) in
       Alcotest.(check (list string)) "sorted by name" (List.sort compare names) names;
       Alcotest.(check bool) "find miss" true (Metrics.find "test_obs_no_such_metric" = None));
+    Alcotest.test_case "gauge add is atomic read-modify-write" `Quick (fun () ->
+      with_metrics (fun () ->
+        let g = Metrics.gauge "test_obs_g_add" in
+        Metrics.set g 1.0;
+        Metrics.add_gauge g 0.5;
+        Metrics.add_gauge g (-2.0);
+        Alcotest.(check (float 1e-12)) "accumulated" (-0.5) (Metrics.gauge_value g)));
+    Alcotest.test_case "exponential_buckets spans start to start*factor^(n-1)" `Quick (fun () ->
+      let b = Metrics.exponential_buckets ~start:5e-4 ~factor:2. ~count:16 in
+      Alcotest.(check int) "count" 16 (Array.length b);
+      Alcotest.(check (float 1e-15)) "first" 5e-4 b.(0);
+      Alcotest.(check (float 1e-9)) "last" (5e-4 *. 32768.) b.(15);
+      let increasing = ref true in
+      Array.iteri (fun i v -> if i > 0 && v <= b.(i - 1) then increasing := false) b;
+      Alcotest.(check bool) "strictly increasing" true !increasing;
+      List.iter
+        (fun (msg, f) ->
+          Alcotest.check_raises "rejected" (Invalid_argument ("Metrics.exponential_buckets: " ^ msg)) f)
+        [
+          ( "start must be positive",
+            fun () -> ignore (Metrics.exponential_buckets ~start:0. ~factor:2. ~count:4) );
+          ( "factor must be > 1",
+            fun () -> ignore (Metrics.exponential_buckets ~start:1. ~factor:1. ~count:4) );
+          ( "count must be >= 1",
+            fun () -> ignore (Metrics.exponential_buckets ~start:1. ~factor:2. ~count:0) );
+        ]);
+    Alcotest.test_case "histogram_samples reports (count, sum) pairs" `Quick (fun () ->
+      with_metrics (fun () ->
+        let h = Metrics.histogram ~buckets:[| 1.; 2. |] "test_obs_hs_seconds" in
+        Metrics.observe h 0.5;
+        Metrics.observe h 3.0;
+        match List.assoc_opt "test_obs_hs_seconds" (Metrics.histogram_samples ()) with
+        | Some (count, sum) ->
+          Alcotest.(check int) "count" 2 count;
+          Alcotest.(check (float 1e-12)) "sum" 3.5 sum
+        | None -> Alcotest.fail "histogram missing from samples"));
   ]
 
 (* ------------------------------- trace ------------------------------- *)
@@ -423,6 +459,28 @@ let export_tests =
         (Export.to_prometheus []);
       let out = Export.to_prometheus golden_samples in
       Alcotest.(check bool) "trailing newline" true (out.[String.length out - 1] = '\n'));
+    Alcotest.test_case "histogram_quantile interpolates within buckets" `Quick (fun () ->
+      let bounds = [| 1.; 2.; 4. |] in
+      (* 10 obs in (0,1], 10 in (1,2], none in (2,4], none above *)
+      let counts = [| 10; 10; 0; 0 |] in
+      let q p = Export.histogram_quantile ~bounds ~counts p in
+      (* rank 10 sits exactly at the first bound; rank 15 is 5/10 of the
+         way through the (1,2] bucket *)
+      Alcotest.(check (float 1e-9)) "median at bucket edge" 1.0 (q 0.5);
+      Alcotest.(check (float 1e-9)) "p75 interpolated" 1.5 (q 0.75);
+      Alcotest.(check (float 1e-9)) "p25 interpolates from 0" 0.5 (q 0.25);
+      Alcotest.(check (float 1e-9)) "p100 tops out at the last occupied bound" 2.0 (q 1.0);
+      Alcotest.(check (float 1e-9)) "empty histogram reports 0" 0.
+        (Export.histogram_quantile ~bounds ~counts:[| 0; 0; 0; 0 |] 0.99);
+      (* mass in the overflow bucket degrades to the highest finite bound *)
+      Alcotest.(check (float 1e-9)) "overflow clamps to last bound" 4.0
+        (Export.histogram_quantile ~bounds ~counts:[| 0; 0; 0; 5 |] 0.99);
+      Alcotest.check_raises "q out of range"
+        (Invalid_argument "Export.histogram_quantile: q outside [0, 1]") (fun () ->
+          ignore (q 1.5));
+      Alcotest.check_raises "length mismatch"
+        (Invalid_argument "Export.histogram_quantile: counts must be bounds + 1 long")
+        (fun () -> ignore (Export.histogram_quantile ~bounds ~counts:[| 1; 2 |] 0.5)));
   ]
 
 (* -------------------------------- logx -------------------------------- *)
@@ -565,8 +623,10 @@ let chrome_tests =
       in
       let counters =
         [
-          { Snapring.t_s = 100.0; counters = [ ("c_total", 0); ("zero_total", 0) ]; gauges = [] };
-          { Snapring.t_s = 100.4; counters = [ ("c_total", 7); ("zero_total", 0) ]; gauges = [] };
+          { Snapring.t_s = 100.0; counters = [ ("c_total", 0); ("zero_total", 0) ]; gauges = [];
+            histograms = [ ("h_seconds", (0, 0.)); ("dead_seconds", (0, 0.)) ] };
+          { Snapring.t_s = 100.4; counters = [ ("c_total", 7); ("zero_total", 0) ]; gauges = [];
+            histograms = [ ("h_seconds", (3, 0.75)); ("dead_seconds", (0, 0.)) ] };
         ]
       in
       let out = Chrome_trace.json ~counters spans in
@@ -582,10 +642,25 @@ let chrome_tests =
       (* tid 0 and 1 both covered by metadata *)
       let m_tids = List.filter_map (fun e -> Jsonx.int_member "tid" e) ms in
       Alcotest.(check (list int)) "metadata tids" [ 0; 1 ] (List.sort compare m_tids);
-      (* live counter sampled twice, constant-zero counter dropped *)
-      Alcotest.(check int) "counter events" 2 (List.length cs);
-      Alcotest.(check bool) "zero counter omitted" true
-        (List.for_all (fun e -> Jsonx.string_member "name" e = Some "c_total") cs);
+      (* live counter sampled twice + count/sum tracks for the live
+         histogram (2 samples x 2 tracks); the constant-zero counter and
+         the never-observed histogram are dropped *)
+      Alcotest.(check int) "counter events" 6 (List.length cs);
+      let c_names =
+        List.sort_uniq compare (List.filter_map (fun e -> Jsonx.string_member "name" e) cs)
+      in
+      Alcotest.(check (list string)) "counter track names"
+        [ "c_total"; "h_seconds_count"; "h_seconds_sum" ]
+        c_names;
+      let h_sum_vals =
+        List.filter_map
+          (fun e ->
+            if Jsonx.string_member "name" e = Some "h_seconds_sum" then
+              Option.bind (Jsonx.member "args" e) (Jsonx.float_member "value")
+            else None)
+          cs
+      in
+      Alcotest.(check (list (float 1e-9))) "histogram sum track values" [ 0.; 0.75 ] h_sum_vals;
       (* timestamps rebased on the earliest point: first span starts at 0 us *)
       let first_x = List.hd xs in
       Alcotest.(check (option (float 1e-6))) "rebased ts" (Some 0.)
@@ -807,6 +882,69 @@ let concurrency_tests =
           Alcotest.(check int) "200" 200 status;
           Alcotest.(check bool) "final total visible over HTTP" true
             (contains body "test_obs_live_total 50000"))));
+    Alcotest.test_case "multi-domain histogram observe is exact and tear-free" `Quick (fun () ->
+      with_metrics (fun () ->
+        let bounds = [| 0.25; 0.5; 0.75 |] in
+        let h = Metrics.histogram ~buckets:bounds "test_obs_mdh_seconds" in
+        let n_domains = 4 and per_domain = 50_000 in
+        let stop = Atomic.make false in
+        (* Mid-run scraper: on every read the +Inf-cumulative bucket total
+           must equal the reported count (tear-free by construction), and
+           the count must never go backwards. *)
+        let scraper =
+          Domain.spawn (fun () ->
+            let tears = ref 0 and regress = ref 0 and last = ref 0 and reads = ref 0 in
+            while not (Atomic.get stop) do
+              match Metrics.find "test_obs_mdh_seconds" with
+              | Some { value = Metrics.Histogram_v { counts; count; _ }; _ } ->
+                incr reads;
+                if Array.fold_left ( + ) 0 counts <> count then incr tears;
+                if count < !last then incr regress;
+                last := count
+              | _ -> ()
+            done;
+            (!reads, !tears, !regress))
+        in
+        let workers =
+          List.init n_domains (fun d ->
+            Domain.spawn (fun () ->
+              (* deterministic per-domain values: every bucket, including
+                 overflow, gets traffic *)
+              for i = 0 to per_domain - 1 do
+                Metrics.observe h (float_of_int ((i + d) mod 4) /. 4. +. 0.125)
+              done))
+        in
+        List.iter Domain.join workers;
+        Atomic.set stop true;
+        let reads, tears, regress = Domain.join scraper in
+        Alcotest.(check bool) "scraper read at least once" true (reads > 0);
+        Alcotest.(check int) "no torn snapshots" 0 tears;
+        Alcotest.(check int) "count never regressed" 0 regress;
+        let total = n_domains * per_domain in
+        Alcotest.(check int) "final count exact" total (Metrics.histogram_count h);
+        (* values cycle uniformly over 0.125/0.375/0.625/0.875: every
+           bucket (and the overflow slot) holds exactly total/4 *)
+        Alcotest.(check (array int)) "final per-bucket counts exact"
+          (Array.make 4 (total / 4))
+          (Metrics.histogram_counts h);
+        let expect_sum = float_of_int (total / 4) *. (0.125 +. 0.375 +. 0.625 +. 0.875) in
+        Alcotest.(check (float 1e-6)) "sum survives concurrent CAS" expect_sum
+          (Metrics.histogram_sum h)));
+    Alcotest.test_case "concurrent gauge adds never lose an update" `Quick (fun () ->
+      with_metrics (fun () ->
+        let g = Metrics.gauge "test_obs_g_conc" in
+        let n_domains = 4 and per_domain = 20_000 in
+        let workers =
+          List.init n_domains (fun _ ->
+            Domain.spawn (fun () ->
+              for _ = 1 to per_domain do
+                Metrics.add_gauge g 1.
+              done))
+        in
+        List.iter Domain.join workers;
+        Alcotest.(check (float 0.)) "every add landed"
+          (float_of_int (n_domains * per_domain))
+          (Metrics.gauge_value g)));
     Alcotest.test_case "live_spans sees spans from joined workers" `Quick (fun () ->
       with_tracing (fun () ->
         let rng = Rng.create ~seed:3 in

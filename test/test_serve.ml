@@ -96,6 +96,41 @@ let http_read fd =
 let post ?body port path = http_read (http_open ?body port path)
 let get port path = http_read (http_open ~meth:"GET" port path)
 
+(* Raw variant: the full response bytes, status line and headers included,
+   for tests that assert on headers (Retry-After). *)
+let http_read_raw fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let buf = Buffer.create 512 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | k ->
+          Buffer.add_subbytes buf chunk 0 k;
+          drain ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+      in
+      drain ();
+      Buffer.contents buf)
+
+let header_value raw name =
+  let lower = String.lowercase_ascii raw in
+  let needle = String.lowercase_ascii name ^ ": " in
+  let rec find i =
+    if i + String.length needle > String.length lower then None
+    else if String.sub lower i (String.length needle) = needle && i > 0 && lower.[i - 1] = '\n'
+    then
+      let rest = String.sub raw (i + String.length needle)
+          (String.length raw - i - String.length needle) in
+      match String.index_opt rest '\r' with
+      | Some e -> Some (String.sub rest 0 e)
+      | None -> None
+    else find (i + 1)
+  in
+  find 0
+
 let with_serve cfg f =
   match Serve.start cfg with
   | Error msg -> Alcotest.fail ("serve did not start: " ^ msg)
@@ -642,6 +677,15 @@ let stat_int path j =
   | Some v -> v
   | None -> Alcotest.fail ("missing stat " ^ String.concat "." path)
 
+let stat_float path j =
+  let rec go j = function
+    | [] -> Jsonx.to_float_opt j
+    | k :: rest -> ( match Jsonx.member k j with Some j -> go j rest | None -> None)
+  in
+  match go j path with
+  | Some v -> v
+  | None -> Alcotest.fail ("missing stat " ^ String.concat "." path)
+
 let serve_tests =
   [
     Alcotest.test_case "solve, cache tiers, restart survives" `Quick (fun () ->
@@ -900,6 +944,98 @@ let serve_tests =
         let j = json_exn body in
         checkb "schema" true (Jsonx.string_member "schema" j = Some "ddm.cache.stats/v1");
         checkb "obs routes still pass through" true (fst (get (Serve.port t) "/healthz") = 200)));
+    Alcotest.test_case "latency telemetry on /stats reconciles with responses" `Quick (fun () ->
+      (* histograms are process-global, unlike the per-instance stats
+         counters: claim a clean registry for the duration *)
+      Metrics.reset ();
+      Metrics.set_enabled true;
+      Fun.protect
+        ~finally:(fun () -> Metrics.set_enabled false)
+        (fun () ->
+          with_serve Serve.default_config (fun t ->
+            let s1, _ = post ~body:eval_req (Serve.port t) "/eval" in
+            let s2, _ = post ~body:eval_req (Serve.port t) "/eval" in
+            let s3, _ = post ~body:"{not json" (Serve.port t) "/eval" in
+            check Alcotest.int "cold 200" 200 s1;
+            check Alcotest.int "warm 200" 200 s2;
+            check Alcotest.int "parse error 400" 400 s3;
+            let status, body = get (Serve.port t) "/stats" in
+            check Alcotest.int "200" 200 status;
+            let j = json_exn body in
+            checkb "schema" true (Jsonx.string_member "schema" j = Some "ddm.serve.stats/v1");
+            (* superset of /cache/stats: the counter fields are all here *)
+            check Alcotest.int "requests field present" 3 (stat_int [ "requests" ] j);
+            check Alcotest.int "cache hits present" 1 (stat_int [ "cache"; "hits_lru" ] j);
+            let oc name = stat_int [ "latency"; "outcomes"; name; "count" ] j in
+            check Alcotest.int "one cold solve" 1 (oc "cold");
+            check Alcotest.int "one lru hit" 1 (oc "hit_lru");
+            check Alcotest.int "one error" 1 (oc "error");
+            let outcome_total =
+              List.fold_left ( + ) 0
+                (List.map oc
+                   [ "hit_lru"; "hit_disk"; "cold"; "shed"; "expired_queued"; "timeout"; "error" ])
+            in
+            check Alcotest.int "outcome counts sum to all terminals" 3 outcome_total;
+            check Alcotest.int "all-outcome histogram agrees" 3
+              (stat_int [ "latency"; "total"; "count" ] j);
+            check Alcotest.int "budget ratio observed per terminal" 3
+              (stat_int [ "latency"; "phases"; "budget_used"; "count" ] j);
+            (* phases: only the cold request was queued and solved; both
+               parsed requests went through the cache lookup *)
+            check Alcotest.int "one queue wait" 1
+              (stat_int [ "latency"; "phases"; "queue_wait"; "count" ] j);
+            check Alcotest.int "one solve" 1 (stat_int [ "latency"; "phases"; "solve"; "count" ] j);
+            check Alcotest.int "two cache lookups" 2
+              (stat_int [ "latency"; "phases"; "cache_lookup"; "count" ] j);
+            checkb "metrics marked live" true
+              (Jsonx.member "latency" j
+              |> Option.map (fun l -> Jsonx.member "metrics_enabled" l = Some (Jsonx.Bool true))
+              |> Option.value ~default:false);
+            checkb "quantiles are ordered" true
+              (let p path = stat_float ([ "latency"; "total" ] @ [ path ]) j in
+               p "p50" <= p "p90" && p "p90" <= p "p99" && p "p99" <= p "p999");
+            (* the process-global responses counter reconciles too *)
+            match Metrics.find "ddm_serve_responses_total" with
+            | Some { Metrics.value = Metrics.Counter_v v; _ } ->
+              check Alcotest.int "responses counter = outcome mass" 3 v
+            | _ -> Alcotest.fail "responses counter not registered")));
+    Alcotest.test_case "429 and 503 carry a computed Retry-After" `Quick (fun () ->
+      let cfg =
+        {
+          Serve.default_config with
+          Serve.workers = 1;
+          queue_depth = 1;
+          chaos =
+            Some
+              { Serve.slow_rate = 1.0; slow_s = 0.4; panic_rate = 0.; diskfail_rate = 0.; seed = 9 };
+        }
+      in
+      match Serve.start cfg with
+      | Error e -> Alcotest.fail e
+      | Ok t ->
+        let bodies =
+          List.init 5 (fun i ->
+            Printf.sprintf "{\"rule\":\"threshold\",\"n\":3,\"params\":%.3f}"
+              (0.70 +. (0.01 *. float_of_int i)))
+        in
+        let fds = List.map (fun body -> http_open ~body (Serve.port t) "/eval") bodies in
+        let raws = List.map http_read_raw fds in
+        let shed = List.filter (fun raw -> contains raw " 429 ") raws in
+        checkb "at least one request shed" true (shed <> []);
+        List.iter
+          (fun raw ->
+            match header_value raw "Retry-After" with
+            | None -> Alcotest.fail "429 without Retry-After"
+            | Some v -> (
+              match int_of_string_opt (String.trim v) with
+              | Some s -> checkb "within [1, 60]" true (s >= 1 && s <= 60)
+              | None -> Alcotest.fail ("Retry-After not an integer: " ^ v)))
+          shed;
+        Serve.stop ~drain_deadline_s:5. t);
+    Alcotest.test_case "slow_request_s must be positive" `Quick (fun () ->
+      Alcotest.check_raises "rejected"
+        (Invalid_argument "Serve.start: slow_request_s must be positive") (fun () ->
+          ignore (Serve.start { Serve.default_config with Serve.slow_request_s = 0. })));
   ]
 
 let () =
