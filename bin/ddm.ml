@@ -66,6 +66,17 @@ let jobs_arg =
            $(docv) at a fixed seed (lease-sharded work); omit to keep the historical \
            single-threaded paths.")
 
+let kernel_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "kernel" ]
+        ~doc:
+          "Route the Monte-Carlo half through the batch sampling kernel (structure-of-arrays \
+           buffers, fused statistics): statistically identical estimates at the same seed, \
+           several times faster, same -j bit-identity contract. Only the oblivious/threshold \
+           rule families qualify. See docs/KERNEL.md.")
+
 let resolve_delta n = function Some d -> d | None -> Rat.of_ints n 3
 
 (* ------------------------- observability ------------------------- *)
@@ -358,7 +369,7 @@ let expand_params n = function
   | _ -> failwith "params length must be 1 or n"
 
 let eval_cmd =
-  let run n delta rule params samples seed jobs () =
+  let run n delta rule params samples seed jobs kernel () =
     let delta = resolve_delta n delta in
     let deltaf = Rat.to_float delta in
     let p = expand_params n params in
@@ -376,15 +387,18 @@ let eval_cmd =
       exact;
     let rng = Rng.create ~seed in
     let inst = Model.instance ~n ~delta:deltaf in
-    let est = Mc_eval.winning_probability ?domains:jobs ~rng ~samples inst model_rule in
-    Printf.printf "Monte-Carlo (%d plays): %s\n" samples (Format.asprintf "%a" Mc.pp_estimate est);
+    let est = Mc_eval.winning_probability ?domains:jobs ~kernel ~rng ~samples inst model_rule in
+    Printf.printf "Monte-Carlo (%d plays%s): %s\n" samples
+      (if kernel then ", batch kernel" else "")
+      (Format.asprintf "%a" Mc.pp_estimate est);
     Printf.printf "closed form inside 95%% interval: %b\n" (Mc.agrees est exact)
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a decision rule exactly and by simulation.")
     (obs_term
        Term.(
-         const run $ n_arg $ delta_arg $ rule_arg $ params_arg $ samples_arg $ seed_arg $ jobs_arg))
+         const run $ n_arg $ delta_arg $ rule_arg $ params_arg $ samples_arg $ seed_arg $ jobs_arg
+         $ kernel_arg))
 
 (* ------------------------- simulate ------------------------- *)
 
@@ -399,7 +413,7 @@ type sim_acc = {
 }
 
 let simulate_cmd =
-  let run n delta rule params samples seed jobs hist_bins () =
+  let run n delta rule params samples seed jobs hist_bins kernel () =
     let delta = Rat.to_float (resolve_delta n delta) in
     let p = expand_params n params in
     let protocol =
@@ -445,19 +459,39 @@ let simulate_cmd =
       }
     in
     let acc =
-      match jobs with
-      | None ->
-        (* the historical single-stream draw order, byte-for-byte *)
-        let acc = ref (init ()) in
-        for _ = 1 to samples do
-          acc := step !acc rng
-        done;
-        !acc
-      | Some domains -> Mc_par.fold ~domains ~rng ~samples ~init ~step ~merge ()
+      if kernel then
+        (* The kernel result record carries exactly the sim_acc fields:
+           same win/overflow predicates, same Welford max-load moments,
+           same histogram range. *)
+        let spec = Engine.kernel_spec ~where:"ddm simulate --kernel" ~delta pattern protocol in
+        let hist = Option.map (fun bins -> (bins, 0., 2. *. delta)) hist_bins in
+        let r =
+          match jobs with
+          | None -> Mc_kernel.run ?hist ~loads:true ~rng ~samples spec
+          | Some domains -> Mc_kernel.run_par ?hist ~loads:true ~domains ~rng ~samples spec
+        in
+        {
+          wins = r.Mc_kernel.wins;
+          over0 = r.Mc_kernel.over0;
+          over1 = r.Mc_kernel.over1;
+          loads = r.Mc_kernel.loads;
+          hist = r.Mc_kernel.hist;
+        }
+      else
+        match jobs with
+        | None ->
+          (* the historical single-stream draw order, byte-for-byte *)
+          let acc = ref (init ()) in
+          for _ = 1 to samples do
+            acc := step !acc rng
+          done;
+          !acc
+        | Some domains -> Mc_par.fold ~domains ~rng ~samples ~init ~step ~merge ()
     in
     let f c = float_of_int c /. float_of_int samples in
-    Printf.printf "protocol: %s over %s\n" (Dist_protocol.name protocol)
-      (Comm_pattern.to_string pattern);
+    Printf.printf "protocol: %s over %s%s\n" (Dist_protocol.name protocol)
+      (Comm_pattern.to_string pattern)
+      (if kernel then " (batch kernel)" else "");
     Printf.printf "plays: %d   P(win) = %.6f\n" samples (f acc.wins);
     Printf.printf "overflow rates: bin0 %.6f, bin1 %.6f\n" (f acc.over0) (f acc.over1);
     Printf.printf "max-load: mean %.4f, stddev %.4f\n" (Stats.mean acc.loads)
@@ -491,7 +525,7 @@ let simulate_cmd =
     (obs_term
        Term.(
          const run $ n_arg $ delta_arg $ rule_arg $ params_arg $ samples_arg $ seed_arg $ jobs_arg
-         $ hist_arg))
+         $ hist_arg $ kernel_arg))
 
 (* ------------------------- banded ------------------------- *)
 
@@ -533,8 +567,8 @@ let banded_cmd =
 (* ------------------------- chaos ------------------------- *)
 
 let chaos_cmd =
-  let run n delta rule params samples seed jobs crash crash_mode loss stale noise jitter sweep
-      points csv () =
+  let run n delta rule params samples seed jobs kernel crash crash_mode loss stale noise jitter
+      sweep points csv () =
     let delta_r = resolve_delta n delta in
     let deltaf = Rat.to_float delta_r in
     let protocol =
@@ -569,8 +603,8 @@ let chaos_cmd =
     let pattern = Comm_pattern.none ~n in
     let rng = Rng.create ~seed in
     let report =
-      Degradation.sweep ~grid_points ?domains:jobs ~rng ~samples ~rates ~model_of ~delta:deltaf
-        pattern protocol
+      Degradation.sweep ~grid_points ?domains:jobs ~kernel ~rng ~samples ~rates ~model_of
+        ~delta:deltaf pattern protocol
     in
     Printf.printf "instance: n = %d, delta = %s\n" n (Rat.to_string delta_r);
     Printf.printf "protocol: %s over %s\n" report.Degradation.protocol_name
@@ -653,8 +687,8 @@ let chaos_cmd =
     (obs_term
        Term.(
          const run $ n_arg $ delta_arg $ rule_arg $ params_arg $ samples_arg $ seed_arg $ jobs_arg
-         $ crash_arg $ crash_mode_arg $ loss_arg $ stale_arg $ noise_arg $ jitter_arg $ sweep_arg
-         $ points_arg $ csv_arg))
+         $ kernel_arg $ crash_arg $ crash_mode_arg $ loss_arg $ stale_arg $ noise_arg $ jitter_arg
+         $ sweep_arg $ points_arg $ csv_arg))
 
 (* ------------------------- perf ------------------------- *)
 
@@ -707,6 +741,29 @@ let perf_suite ~jobs : (string * (int -> unit)) list =
           (Engine.win_probability_mc
              ~domains:(Option.value ~default:1 jobs)
              ~rng ~samples:100_000 ~delta:1. (Comm_pattern.none ~n:3)
+             (Dist_protocol.common_threshold ~n:3 0.62)) );
+    ( "perf-mc-kernel-100k-n3",
+      (* same instance as perf-mc-100k-n3: the pair is the kernel-vs-closure
+         speedup the ROADMAP gates on *)
+      fun seed ->
+        let rng = Rng.create ~seed in
+        ignore
+          (Engine.win_probability_mc ~kernel:true ~rng ~samples:100_000 ~delta:1.
+             (Comm_pattern.none ~n:3)
+             (Dist_protocol.common_threshold ~n:3 0.62)) );
+    ( "perf-mc-kernel-oblivious-100k-n3",
+      fun seed ->
+        let rng = Rng.create ~seed in
+        ignore
+          (Engine.win_probability_mc ~kernel:true ~rng ~samples:100_000 ~delta:1.
+             (Comm_pattern.none ~n:3) (Dist_protocol.fair_coin ~n:3)) );
+    ( "perf-mc-kernel-faulty-100k-n3",
+      fun seed ->
+        let rng = Rng.create ~seed in
+        ignore
+          (Fault_engine.win_probability_mc ~kernel:true ~rng ~samples:100_000
+             ~faults:(Fault_model.make ~crash:0.1 ~noise:0.05 ~jitter:0.1 ())
+             ~delta:1. (Comm_pattern.none ~n:3)
              (Dist_protocol.common_threshold ~n:3 0.62)) );
     ( "perf-ih-cdf-m20",
       fun _ ->

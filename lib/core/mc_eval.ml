@@ -1,5 +1,17 @@
-let winning_probability ?domains ?leases ~rng ~samples inst rule =
+let kernel_of inst rule =
+  match rule with
+  | Model.Single_threshold a ->
+    Mc_kernel.make ~n:inst.Model.n ~delta:inst.Model.delta (Mc_kernel.Threshold a)
+  | Model.Oblivious a ->
+    Mc_kernel.make ~n:inst.Model.n ~delta:inst.Model.delta (Mc_kernel.Oblivious a)
+  | Model.Custom _ ->
+    invalid_arg
+      "Mc_eval.winning_probability: Custom rules have no batch-kernel form (drop ~kernel)"
+
+let winning_probability ?domains ?leases ?(kernel = false) ~rng ~samples inst rule =
   Trace.with_span "mc_eval.winning_probability" @@ fun () ->
-  Mc.probability ?domains ?leases ~rng ~samples (fun rng -> (Model.play rng inst rule).Model.win)
+  let kernel = if kernel then Some (kernel_of inst rule) else None in
+  Mc.probability ?domains ?leases ?kernel ~rng ~samples (fun rng ->
+      (Model.play rng inst rule).Model.win)
 
 let check_against = Mc.agrees

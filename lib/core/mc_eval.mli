@@ -4,9 +4,22 @@
     vectors. *)
 
 val winning_probability :
-  ?domains:int -> ?leases:int -> rng:Rng.t -> samples:int -> Model.instance -> Model.rule -> Mc.estimate
+  ?domains:int ->
+  ?leases:int ->
+  ?kernel:bool ->
+  rng:Rng.t ->
+  samples:int ->
+  Model.instance ->
+  Model.rule ->
+  Mc.estimate
 (** [?domains]/[?leases] select {!Mc.probability}'s lease-sharded parallel
-    path (worker-count-independent estimates at a fixed seed). *)
+    path (worker-count-independent estimates at a fixed seed).
+    [~kernel:true] routes {!Model.Oblivious} / {!Model.Single_threshold}
+    rules through the batch kernel ({!Mc_kernel}): statistically identical
+    to the scalar path at the same seed, several times faster, same [-j]
+    bit-identity.
+    @raise Invalid_argument for [~kernel:true] with a {!Model.Custom}
+    rule. *)
 
 val check_against : Mc.estimate -> float -> bool
 (** Alias of {!Mc.agrees}. *)

@@ -3,12 +3,27 @@ type view = { me : int; own : float; others : (int * float) list }
 let view_input v j =
   if j = v.me then Some v.own else List.assoc_opt j v.others
 
-type t = { name : string; decide : view -> float; deterministic : bool }
+(* Local rules depend only on the deciding player's own input; recording
+   which standard family built the protocol lets the batch kernel
+   (Mc_kernel, via Engine/Fault_engine ~kernel) replay it without calling
+   [decide] per sample.  The closure stays authoritative — [local_rule] is
+   an introspection hint that must describe the same decision function. *)
+type local_rule = Local_threshold of float array | Local_oblivious of float array
+
+type t = {
+  name : string;
+  decide : view -> float;
+  deterministic : bool;
+  local_rule : local_rule option;
+}
 
 let name t = t.name
 let decide t view = t.decide view
 let is_deterministic t = t.deterministic
-let make ?(deterministic = false) ~name decide = { name; decide; deterministic }
+let local_rule t = t.local_rule
+
+let make ?(deterministic = false) ~name decide =
+  { name; decide; deterministic; local_rule = None }
 
 (* Resilience instrumentation (the ddm.faults.* family; see lib/faults for
    the injection-side counters). *)
@@ -38,18 +53,26 @@ let check_player family len v =
 let oblivious alphas =
   let len = Array.length alphas in
   check_nonempty "oblivious" len;
-  make ~name:"oblivious" (fun v ->
-    check_player "oblivious" len v;
-    alphas.(v.me))
+  {
+    (make ~name:"oblivious" (fun v ->
+       check_player "oblivious" len v;
+       alphas.(v.me)))
+    with
+    local_rule = Some (Local_oblivious (Array.copy alphas));
+  }
 
 let fair_coin ~n = { (oblivious (Array.make n 0.5)) with name = "fair-coin" }
 
 let single_threshold a =
   let len = Array.length a in
   check_nonempty "single_threshold" len;
-  make ~deterministic:true ~name:"single-threshold" (fun v ->
-    check_player "single_threshold" len v;
-    if v.own <= a.(v.me) then 1. else 0.)
+  {
+    (make ~deterministic:true ~name:"single-threshold" (fun v ->
+       check_player "single_threshold" len v;
+       if v.own <= a.(v.me) then 1. else 0.))
+    with
+    local_rule = Some (Local_threshold (Array.copy a));
+  }
 
 let common_threshold ~n beta =
   { (single_threshold (Array.make n beta)) with
@@ -103,6 +126,9 @@ let with_fallback ~expected ?fallback inner =
   {
     name = Printf.sprintf "%s+fallback(%s)" inner.name fallback.name;
     deterministic = inner.deterministic && fallback.deterministic;
+    (* Not a pure local rule: which branch decides depends on the view's
+       completeness, which the kernel cannot see. *)
+    local_rule = None;
     decide =
       (fun v ->
         if view_complete ~expected v then inner.decide v

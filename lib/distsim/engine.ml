@@ -143,9 +143,47 @@ let run_once ?(sampler = Rng.float01) rng ~delta pattern protocol =
   let load0, load1 = loads inputs decisions in
   { inputs; decisions; load0; load1; win = load0 <= delta && load1 <= delta }
 
-let win_probability_mc ?sampler ?domains ?leases ~rng ~samples ~delta pattern protocol =
+(* Translate a kernel-eligible protocol into a batch-kernel spec.  Raises
+   a named error instead of silently falling back: a caller asking for
+   [~kernel:true] wants the fast path or an explanation, not a quiet 5x
+   slowdown. *)
+let kernel_spec ~where ?fault ~delta pattern protocol =
+  match Dist_protocol.local_rule protocol with
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "%s: protocol %S has no local rule (only the oblivious/threshold families ride the \
+          batch kernel)"
+         where
+         (Dist_protocol.name protocol))
+  | Some lr ->
+    let rule =
+      match lr with
+      | Dist_protocol.Local_threshold a -> Mc_kernel.Threshold a
+      | Dist_protocol.Local_oblivious a -> Mc_kernel.Oblivious a
+    in
+    Mc_kernel.make ?fault ~n:(Comm_pattern.n pattern) ~delta rule
+
+let no_sampler ~where = function
+  | None -> ()
+  | Some _ ->
+    invalid_arg
+      (where ^ ": ~kernel assumes the paper's uniform input model (drop the custom sampler)")
+
+let win_probability_mc ?sampler ?(kernel = false) ?domains ?leases ~rng ~samples ~delta pattern
+    protocol =
   Trace.with_span "engine.mc" @@ fun () ->
-  Mc.probability ?domains ?leases ~rng ~samples (fun rng ->
+  let kernel =
+    if kernel then begin
+      no_sampler ~where:"Engine.win_probability_mc" sampler;
+      (* The scalar path bumps [plays] once per run_once call; the kernel
+         path accounts for the whole batch here, in aggregate. *)
+      Metrics.add plays samples;
+      Some (kernel_spec ~where:"Engine.win_probability_mc" ~delta pattern protocol)
+    end
+    else None
+  in
+  Mc.probability ?domains ?leases ?kernel ~rng ~samples (fun rng ->
       (run_once ?sampler rng ~delta pattern protocol).win)
 
 let win_probability_given ~delta pattern protocol inputs =

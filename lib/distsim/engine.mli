@@ -69,14 +69,39 @@ val run_once :
     @raise Invalid_argument when the protocol returns a non-finite decide
     output (see {!Dist_protocol.sanitized} to degrade instead). *)
 
+val kernel_spec :
+  where:string ->
+  ?fault:Mc_kernel.fault ->
+  delta:float ->
+  Comm_pattern.t ->
+  Dist_protocol.t ->
+  Mc_kernel.t
+(** Translate a protocol with a {!Dist_protocol.local_rule} into a batch
+    kernel spec for the pattern's player count.  Shared with
+    [Fault_engine]; [where] names the caller in errors.
+    @raise Invalid_argument when the protocol has no local rule or its
+    parameter count disagrees with the pattern. *)
+
+val no_sampler : where:string -> (Rng.t -> float) option -> unit
+(** Reject a custom input sampler on a [~kernel] path (the kernel bakes in
+    the paper's U[0,1] input model).  Shared with [Fault_engine]. *)
+
 val win_probability_mc :
   ?sampler:(Rng.t -> float) ->
+  ?kernel:bool ->
   ?domains:int ->
   ?leases:int ->
   rng:Rng.t -> samples:int -> delta:float -> Comm_pattern.t -> Dist_protocol.t -> Mc.estimate
 (** Monte-Carlo estimate of the win probability. [?domains]/[?leases]
     select {!Mc.probability}'s lease-sharded parallel path; estimates are
-    bit-identical for every worker count at a fixed seed. *)
+    bit-identical for every worker count at a fixed seed.
+
+    [~kernel:true] routes the run through the batch kernel
+    ({!Mc_kernel}): statistically identical to the closure path at the
+    same seed, several times faster, same [-j] bit-identity contract.
+    [ddm_engine_plays_total] is bumped in aggregate rather than per play.
+    @raise Invalid_argument when [~kernel:true] is combined with a custom
+    [sampler] or a protocol without a {!Dist_protocol.local_rule}. *)
 
 val win_probability_given : delta:float -> Comm_pattern.t -> Dist_protocol.t -> float array -> float
 (** Exact win probability conditioned on the input vector: enumerates the

@@ -34,6 +34,7 @@ val sweep :
   ?grid_points:int ->
   ?domains:int ->
   ?leases:int ->
+  ?kernel:bool ->
   rng:Rng.t ->
   samples:int ->
   rates:float list ->
@@ -52,7 +53,13 @@ val sweep :
     exact grid fold through {!Par_fold}'s index-sharded leases (each
     sweep point is an independent exact solve whose cells go wide).
     Either way the report is bit-identical for every worker count at a
-    fixed seed and lease count. *)
+    fixed seed and lease count.
+
+    [~kernel:true] batches every MC half through {!Mc_kernel}'s fault
+    variant (exact halves are untouched): statistically identical curves,
+    several times faster, same [-j] bit-identity.
+    @raise Invalid_argument when the protocol has no
+    {!Dist_protocol.local_rule}. *)
 
 val monotone_nonincreasing : ?slack:float -> report -> bool
 (** Does the win probability degrade monotonically along [points]?

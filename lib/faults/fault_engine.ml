@@ -152,14 +152,38 @@ let run_once ?(sampler = Rng.float01) rng ~faults:(m : Fault_model.t) ~delta pat
     faults = !fault_count;
   }
 
-let win_probability_mc ?sampler ?domains ?leases ~rng ~samples ~faults ~delta pattern protocol =
+let win_probability_mc ?sampler ?(kernel = false) ?domains ?leases ~rng ~samples ~faults ~delta
+    pattern protocol =
   Fault_model.validate faults;
   Trace.with_span "faults.mc" @@ fun () ->
   if Logx.would_log Logx.Debug then
     Logx.debug "faults.mc"
       [ ("protocol", Logx.Str (Dist_protocol.name protocol));
         ("faults", Logx.Str (Fault_model.to_string faults)); ("samples", Logx.Int samples) ];
-  Mc.probability ?domains ?leases ~rng ~samples (fun rng ->
+  let kernel =
+    if kernel then begin
+      Engine.no_sampler ~where:"Fault_engine.win_probability_mc" sampler;
+      (* link_loss / stale degrade only the revealed inputs, which a local
+         (kernel-eligible) rule never reads — they cannot change any
+         outcome, so the kernel spec drops them.  Crash / noise / jitter
+         translate one-to-one.  The kernel path reports plays in
+         aggregate; the per-event ddm_faults_* counters stay scalar-only
+         (see docs/KERNEL.md). *)
+      let fault =
+        Mc_kernel.fault ~crash_rate:faults.Fault_model.crash
+          ~crash_bin:
+            (match faults.Fault_model.crash_mode with
+            | Fault_model.Drop -> -1
+            | Fault_model.Default_bin b -> b)
+          ~noise:faults.Fault_model.noise ~jitter:faults.Fault_model.jitter ()
+      in
+      Metrics.add plays samples;
+      Some (Engine.kernel_spec ~where:"Fault_engine.win_probability_mc" ~fault ~delta pattern
+              protocol)
+    end
+    else None
+  in
+  Mc.probability ?domains ?leases ?kernel ~rng ~samples (fun rng ->
     (run_once ?sampler rng ~faults ~delta pattern protocol).win)
 
 (* ------------------------- exact crash fold ------------------------- *)

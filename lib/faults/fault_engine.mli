@@ -38,6 +38,7 @@ val run_once :
 
 val win_probability_mc :
   ?sampler:(Rng.t -> float) ->
+  ?kernel:bool ->
   ?domains:int ->
   ?leases:int ->
   rng:Rng.t ->
@@ -50,7 +51,18 @@ val win_probability_mc :
 (** Monte-Carlo win probability under faults, with a Wilson 95% CI.
     [?domains]/[?leases] select {!Mc.probability}'s lease-sharded parallel
     path; fault counters stay exact (they are atomic) and estimates are
-    bit-identical for every worker count at a fixed seed. *)
+    bit-identical for every worker count at a fixed seed.
+
+    [~kernel:true] rides the batch kernel's flat fault-injection variant:
+    crash / noise / jitter translate one-to-one; [link_loss] and [stale]
+    are accepted and dropped because a kernel-eligible (local) rule never
+    reads the revealed inputs they degrade, so they cannot change any
+    outcome.  Statistically identical to the scalar path at the same
+    seed, several times faster, same [-j] bit-identity.  On this path
+    [ddm_faults_plays_total] is bumped in aggregate and the per-event
+    fault counters (crashes, perturbations, ...) are not maintained.
+    @raise Invalid_argument when [~kernel:true] is combined with a custom
+    [sampler] or a protocol without a {!Dist_protocol.local_rule}. *)
 
 val win_probability_given :
   ?domains:int ->

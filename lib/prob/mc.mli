@@ -11,7 +11,13 @@ type estimate = {
 val pp_estimate : Format.formatter -> estimate -> unit
 
 val probability :
-  ?domains:int -> ?leases:int -> rng:Rng.t -> samples:int -> (Rng.t -> bool) -> estimate
+  ?domains:int ->
+  ?leases:int ->
+  ?kernel:Mc_kernel.t ->
+  rng:Rng.t ->
+  samples:int ->
+  (Rng.t -> bool) ->
+  estimate
 (** Bernoulli estimation with a Wilson 95% interval.
 
     Without [?domains] the sampler is the historical single-stream loop
@@ -22,12 +28,27 @@ val probability :
     samples)], so [~domains:1] is the determinism reference for any
     [~domains:k].  The sampling closure must then be safe to run on other
     domains (pure up to its own [Rng.t] draws — all closures in this
-    repository qualify). *)
+    repository qualify).
+
+    With [?kernel] the closure is never called: the batch kernel plays
+    the spec's game and [wins/samples] is the estimate.  The kernel draws
+    in a different order than the scalar loop, so its estimate agrees
+    with the closure path statistically (same seed, {!agrees}-close), not
+    byte-for-byte; the [-j] bit-identity contract above still holds
+    verbatim on the kernel path. *)
 
 val expectation :
-  ?domains:int -> ?leases:int -> rng:Rng.t -> samples:int -> (Rng.t -> float) -> estimate
+  ?domains:int ->
+  ?leases:int ->
+  ?kernel:Mc_kernel.t ->
+  rng:Rng.t ->
+  samples:int ->
+  (Rng.t -> float) ->
+  estimate
 (** Sample-mean estimation with a normal-approximation 95% interval.
-    [?domains]/[?leases] behave as in {!probability}. *)
+    [?domains]/[?leases] behave as in {!probability}.  With [?kernel] the
+    closure is never called and the estimated quantity is the kernel
+    game's expected {e max bin load}. *)
 
 val agrees : estimate -> float -> bool
 (** [agrees e v]: does [v] fall within the (slightly widened) 95% interval?

@@ -1,0 +1,234 @@
+(* Batch Monte-Carlo kernel for the 2-bin load game.
+
+   The per-sample closure path (Mc / Mc_par) pays one closure call, one
+   inputs array, one decisions array and ~8 boxed Int64 intermediates per
+   xoshiro draw for every play.  This kernel amortizes all of that:
+   uniform draws are produced chunk-wise into structure-of-arrays Bigarray
+   buffers by the alloc-free Rng fill stream, bin assignment reads the
+   buffers with no per-play allocation, and the win / overflow / Welford /
+   histogram statistics are fused into one pass over each chunk.
+
+   Determinism contract (docs/KERNEL.md): a kernel estimate is a pure
+   function of (seed, leases, samples, spec) — worker count never enters.
+   [run] consumes the caller's stream directly (fill derivation = two
+   draws); [run_par] derives one stream per lease exactly as Mc_par does
+   and merges per-lease results in lease order, so [-j k] is bit-identical
+   to [-j 1].  The kernel draws in a different order than the scalar path
+   (inputs for a whole chunk first, then decision / fault draws), so
+   kernel and scalar estimates agree statistically, not byte-for-byte;
+   tests pin the agreement through Mc.agrees. *)
+
+type rule =
+  | Threshold of float array  (* player i picks bin 0 iff its input <= tau.(i) *)
+  | Oblivious of float array  (* player i picks bin 0 with probability alpha.(i) *)
+
+type fault = { crash_rate : float; crash_bin : int; noise : float; jitter : float }
+
+type t = { n : int; delta : float; rule : rule; fault : fault option }
+
+type result = {
+  samples : int;
+  wins : int;
+  over0 : int;
+  over1 : int;
+  loads : Stats.acc;
+  hist : Stats.histogram option;
+}
+
+let check_rate what p =
+  if not (Float.is_finite p && p >= 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Mc_kernel.fault: %s = %h is not in [0,1]" what p)
+
+let fault ?(crash_rate = 0.) ?(crash_bin = -1) ?(noise = 0.) ?(jitter = 0.) () =
+  check_rate "crash_rate" crash_rate;
+  check_rate "noise" noise;
+  check_rate "jitter" jitter;
+  if crash_bin < -1 || crash_bin > 1 then
+    invalid_arg
+      (Printf.sprintf "Mc_kernel.fault: crash_bin = %d (-1 drops the input, 0/1 reroute it)"
+         crash_bin);
+  { crash_rate; crash_bin; noise; jitter }
+
+let fault_is_none f = f.crash_rate = 0. && f.noise = 0. && f.jitter = 0.
+
+let make ?fault ~n ~delta rule =
+  if n < 1 then invalid_arg "Mc_kernel.make: n must be >= 1";
+  if not (delta > 0.) then invalid_arg "Mc_kernel.make: delta must be positive";
+  (match rule with
+  | Threshold a | Oblivious a ->
+    if Array.length a <> n then
+      invalid_arg
+        (Printf.sprintf "Mc_kernel.make: rule carries %d parameters for n = %d players"
+           (Array.length a) n);
+    (* A non-finite parameter would decide every comparison the same way
+       while the scalar engines raise (or sanitize) — refuse it here so
+       the kernel can never silently diverge from the closure path. *)
+    Array.iteri
+      (fun i p ->
+        if not (Float.is_finite p) then
+          invalid_arg (Printf.sprintf "Mc_kernel.make: parameter %d is not finite (%h)" i p))
+      a);
+  (* A fault spec whose every dimension is off routes to the plain loops. *)
+  let fault = match fault with Some f when fault_is_none f -> None | f -> f in
+  { n; delta; rule; fault }
+
+let empty_result ?hist () =
+  {
+    samples = 0;
+    wins = 0;
+    over0 = 0;
+    over1 = 0;
+    loads = Stats.empty;
+    hist = Option.map (fun (bins, lo, hi) -> Stats.histogram_empty ~bins ~lo ~hi) hist;
+  }
+
+(* Merging in lease order keeps run_par worker-count invariant: integer
+   sums commute, Stats.merge / histogram_merge are evaluated left-to-right
+   over the lease array. *)
+let merge_result a b =
+  {
+    samples = a.samples + b.samples;
+    wins = a.wins + b.wins;
+    over0 = a.over0 + b.over0;
+    over1 = a.over1 + b.over1;
+    loads = Stats.merge a.loads b.loads;
+    hist =
+      (match (a.hist, b.hist) with
+      | Some x, Some y -> Some (Stats.histogram_merge x y)
+      | (Some _ as h), None | None, (Some _ as h) -> h
+      | None, None -> None);
+  }
+
+(* Plays per chunk: 4096 * n doubles (192 KiB at n = 3) keeps the working
+   set inside L2 while amortizing the fill-call overhead to nothing. *)
+let chunk_plays = 4096
+
+let run_fill ?hist ~loads ~fill ~samples t =
+  let n = t.n in
+  let delta = t.delta in
+  let cap = if samples < chunk_plays then samples else chunk_plays in
+  let mk len = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout len in
+  let u = mk (cap * n) in
+  let f = match t.fault with Some f -> f | None -> fault () in
+  let crash_on = f.crash_rate > 0. in
+  let jitter_on = f.jitter > 0. in
+  (* Noise perturbs the value a rule reads, never the load it contributes;
+     oblivious rules read no value, so their noise draws are skipped (the
+     distribution of outcomes is unchanged — see docs/KERNEL.md). *)
+  let noise_on = f.noise > 0. && match t.rule with Threshold _ -> true | Oblivious _ -> false in
+  let oblivious = match t.rule with Oblivious _ -> true | Threshold _ -> false in
+  let params = match t.rule with Threshold a | Oblivious a -> a in
+  let db = if oblivious then mk (cap * n) else mk 0 in
+  let cb = if crash_on then mk (cap * n) else mk 0 in
+  let nb = if noise_on then mk (cap * n) else mk 0 in
+  let jb = if jitter_on then mk cap else mk 0 in
+  let hist = Option.map (fun (bins, lo, hi) -> Stats.histogram_empty ~bins ~lo ~hi) hist in
+  let wins = ref 0 and over0 = ref 0 and over1 = ref 0 in
+  (* Welford state in local refs (ocamlopt unboxes non-escaping float
+     refs); the count is kept as a float so every cell stays unboxed, and
+     the update sequence matches Stats.add bit-for-bit (Stats.of_moments). *)
+  let wn = ref 0. and wmean = ref 0. and wm2 = ref 0. in
+  let remaining = ref samples in
+  while !remaining > 0 do
+    let m = if !remaining < cap then !remaining else cap in
+    Rng.fill_float01 fill u ~pos:0 ~len:(m * n);
+    if oblivious then Rng.fill_float01 fill db ~pos:0 ~len:(m * n);
+    if crash_on then Rng.fill_float01 fill cb ~pos:0 ~len:(m * n);
+    if noise_on then Rng.fill_float01 fill nb ~pos:0 ~len:(m * n);
+    if jitter_on then Rng.fill_float01 fill jb ~pos:0 ~len:m;
+    for p = 0 to m - 1 do
+      let base = p * n in
+      let l0 = ref 0. and l1 = ref 0. in
+      if t.fault = None then
+        (* Plain loops: no fault buffers to consult, so the whole play is
+           [n] buffer reads and [n] compare-accumulate steps. *)
+        if oblivious then
+          for i = 0 to n - 1 do
+            let x = Bigarray.Array1.unsafe_get u (base + i) in
+            (* u2 < alpha matches Model.decide for every alpha: alpha <= 0
+               never fires, alpha >= 1 always does (u2 < 1 is certain). *)
+            if Bigarray.Array1.unsafe_get db (base + i) < Array.unsafe_get params i then
+              l0 := !l0 +. x
+            else l1 := !l1 +. x
+          done
+        else
+          for i = 0 to n - 1 do
+            let x = Bigarray.Array1.unsafe_get u (base + i) in
+            if x <= Array.unsafe_get params i then l0 := !l0 +. x else l1 := !l1 +. x
+          done
+      else
+        for i = 0 to n - 1 do
+          let x = Bigarray.Array1.unsafe_get u (base + i) in
+          if crash_on && Bigarray.Array1.unsafe_get cb (base + i) < f.crash_rate then begin
+            (* Crashed player: its decision is the crash mode, its raw
+               input still weighs on whichever bin receives it. *)
+            if f.crash_bin = 0 then l0 := !l0 +. x
+            else if f.crash_bin = 1 then l1 := !l1 +. x
+          end
+          else begin
+            let x' =
+              if noise_on then begin
+                let e = f.noise *. ((2. *. Bigarray.Array1.unsafe_get nb (base + i)) -. 1.) in
+                let v = x +. e in
+                if v < 0. then 0. else if v > 1. then 1. else v
+              end
+              else x
+            in
+            let bin0 =
+              if oblivious then Bigarray.Array1.unsafe_get db (base + i) < Array.unsafe_get params i
+              else x' <= Array.unsafe_get params i
+            in
+            if bin0 then l0 := !l0 +. x else l1 := !l1 +. x
+          end
+        done;
+      let de =
+        if jitter_on then
+          delta *. (1. +. (f.jitter *. ((2. *. Bigarray.Array1.unsafe_get jb p) -. 1.)))
+        else delta
+      in
+      let l0 = !l0 and l1 = !l1 in
+      if l0 <= de && l1 <= de then incr wins;
+      if l0 > de then incr over0;
+      if l1 > de then incr over1;
+      if loads || hist <> None then begin
+        let mx = if l0 > l1 then l0 else l1 in
+        if loads then begin
+          wn := !wn +. 1.;
+          let d = mx -. !wmean in
+          wmean := !wmean +. (d /. !wn);
+          wm2 := !wm2 +. (d *. (mx -. !wmean))
+        end;
+        match hist with Some h -> Stats.histogram_observe h mx | None -> ()
+      end
+    done;
+    remaining := !remaining - m
+  done;
+  {
+    samples;
+    wins = !wins;
+    over0 = !over0;
+    over1 = !over1;
+    loads = Stats.of_moments ~count:(int_of_float !wn) ~mean:!wmean ~m2:!wm2;
+    hist;
+  }
+
+let run ?hist ?(loads = false) ~rng ~samples t =
+  if samples < 0 then invalid_arg "Mc_kernel.run: samples must be >= 0";
+  if samples = 0 then empty_result ?hist ()
+  else run_fill ?hist ~loads ~fill:(Rng.fill_of rng) ~samples t
+
+let run_par ?(leases = Mc_par.default_leases) ?hist ?(loads = false) ~domains ~rng ~samples t =
+  if domains < 1 then invalid_arg "Mc_kernel.run_par: domains must be >= 1";
+  if leases < 1 then invalid_arg "Mc_kernel.run_par: leases must be >= 1";
+  if samples < 0 then invalid_arg "Mc_kernel.run_par: samples must be >= 0";
+  (* Same stream-derivation discipline as Mc_par.fold: every lease stream
+     is split off sequentially, in lease order, before any worker runs, so
+     lease i's draws depend only on (root seed, leases, i). *)
+  let streams = Array.init leases (fun _ -> Rng.split rng) in
+  let counts = Mc_par.lease_counts ~leases ~samples in
+  let parts =
+    Par_fold.run_leases ~span:"mc.kernel.lease" ~domains ~leases (fun i ->
+        if counts.(i) = 0 then empty_result ?hist ()
+        else run_fill ?hist ~loads ~fill:(Rng.fill_of streams.(i)) ~samples:counts.(i) t)
+  in
+  Array.fold_left merge_result (empty_result ?hist ()) parts

@@ -33,6 +33,12 @@ val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count ()]: a sensible [-j] value for this
     machine. *)
 
+val lease_counts : leases:int -> samples:int -> int array
+(** The sample-budget partition used by {!fold}: lease [i] gets
+    [samples / leases] draws plus one unit of the remainder, so shares
+    differ by at most one and always sum to [samples].  Exposed so other
+    lease-sharded runners ({!Mc_kernel}) shard identically. *)
+
 val fold :
   ?leases:int ->
   domains:int ->

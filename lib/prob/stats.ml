@@ -19,6 +19,14 @@ let stderr_of_mean acc =
 
 let of_array a = Array.fold_left add empty a
 
+(* Constructor for accumulators kept in flat (unboxed) form by batch
+   kernels: Mc_kernel runs Welford over local float cells and rebuilds the
+   acc once per chunk of work, so the result is bit-identical to feeding
+   [add] the same samples in the same order. *)
+let of_moments ~count ~mean ~m2 =
+  if count < 0 then invalid_arg "Stats.of_moments: count must be >= 0";
+  if count = 0 then empty else { n = count; mean; m2 }
+
 (* Chan et al. pairwise combination: exact for the merged mean and M2 up to
    rounding, independent of how the samples were sharded.  Merging in a
    fixed order (Mc_par merges in lease order) keeps the result bit-stable
@@ -38,6 +46,10 @@ let merge a b =
 
 let wilson_interval ?(z = 1.96) ~successes ~trials () =
   if trials <= 0 then invalid_arg "Stats.wilson_interval: trials";
+  if successes < 0 || successes > trials then
+    invalid_arg
+      (Printf.sprintf "Stats.wilson_interval: successes = %d outside [0, trials = %d]" successes
+         trials);
   let n = float_of_int trials in
   let p = float_of_int successes /. n in
   let z2 = z *. z in
@@ -60,10 +72,13 @@ let histogram_empty ~bins ~lo ~hi =
 
 (* Out-of-range samples used to be clamped into the edge bins, silently
    inflating the edge densities; they now count as outliers instead.
-   [x = hi] stays in the last bin so a closed range is representable. *)
+   [x = hi] stays in the last bin so a closed range is representable.
+   Non-finite samples must be tested explicitly: NaN fails both range
+   comparisons, and before the [is_finite] guard it fell through to
+   [int_of_float nan = 0], silently landing in bin 0. *)
 let histogram_observe h x =
   h.total <- h.total + 1;
-  if x < h.lo || x > h.hi then h.outliers <- h.outliers + 1
+  if not (Float.is_finite x) || x < h.lo || x > h.hi then h.outliers <- h.outliers + 1
   else begin
     let bins = Array.length h.counts in
     let i = int_of_float (float_of_int bins *. (x -. h.lo) /. (h.hi -. h.lo)) in
@@ -87,7 +102,16 @@ let histogram_merge a b =
     outliers = a.outliers + b.outliers;
   }
 
+(* Mirror histogram_merge's shape check: a bad bin index gets an error
+   naming the accessor and the valid range, not a bare
+   "index out of bounds" from deep inside the array primitive. *)
+let check_bin where h i =
+  let bins = Array.length h.counts in
+  if i < 0 || i >= bins then
+    invalid_arg (Printf.sprintf "Stats.%s: bin %d outside [0, %d)" where i bins)
+
 let histogram_density h i =
+  check_bin "histogram_density" h i;
   let bins = Array.length h.counts in
   let bin_width = (h.hi -. h.lo) /. float_of_int bins in
   let in_range = h.total - h.outliers in
@@ -95,6 +119,7 @@ let histogram_density h i =
   else float_of_int h.counts.(i) /. (float_of_int in_range *. bin_width)
 
 let bin_center h i =
+  check_bin "bin_center" h i;
   let bins = Array.length h.counts in
   let bin_width = (h.hi -. h.lo) /. float_of_int bins in
   h.lo +. ((float_of_int i +. 0.5) *. bin_width)

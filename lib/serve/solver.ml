@@ -4,7 +4,7 @@
    how far the work got when the budget ran out. *)
 
 type rule = Threshold | Oblivious | Opt
-type mode = Exact | Grid of int
+type mode = Exact | Grid of int | Mc of { samples : int; seed : int }
 
 type req = {
   rule : rule;
@@ -29,6 +29,7 @@ let max_n = 64
 let max_n_threshold_exact = 14
 let max_n_opt = 8
 let max_points = 512
+let max_mc_samples = 2_000_000
 let max_budget_ms = 600_000
 
 let ( let* ) = Result.bind
@@ -103,24 +104,41 @@ let parse body =
       if p >= 2 && p <= max_points then Ok p
       else Error (Printf.sprintf "points = %d out of range [2, %d]" p max_points)
     in
+    let mc () =
+      let* samples =
+        match Jsonx.int_member "samples" j with
+        | None -> Ok 100_000
+        | Some s when s >= 1 && s <= max_mc_samples -> Ok s
+        | Some s -> Error (Printf.sprintf "samples = %d out of range [1, %d]" s max_mc_samples)
+      in
+      Ok (Mc { samples; seed = Option.value (Jsonx.int_member "seed" j) ~default:42 })
+    in
     match (Jsonx.string_member "mode" j, Jsonx.int_member "points" j) with
     | None, None | Some "exact", None -> Ok Exact
     | None, Some p ->
       (* "points" alone implies grid mode *)
       let* p = check_points p in
       Ok (Grid p)
-    | Some "exact", Some _ -> Error "points is only meaningful with mode \"grid\""
+    | Some ("exact" | "mc"), Some _ -> Error "points is only meaningful with mode \"grid\""
     | Some "grid", p ->
       let* p = check_points (Option.value p ~default:32) in
       Ok (Grid p)
-    | Some m, _ -> Error (Printf.sprintf "unknown mode %S (exact | grid)" m)
+    | Some "mc", None -> mc ()
+    | Some m, _ -> Error (Printf.sprintf "unknown mode %S (exact | grid | mc)" m)
+  in
+  let* () =
+    match (mode, Jsonx.int_member "samples" j, Jsonx.int_member "seed" j) with
+    | Mc _, _, _ | _, None, None -> Ok ()
+    | _ -> Error "samples/seed are only meaningful with mode \"mc\""
   in
   let* () =
     match (rule, mode, crash) with
-    | Opt, Grid _, _ -> Error "rule \"opt\" is exact-only (mode must be \"exact\")"
+    | Opt, (Grid _ | Mc _), _ -> Error "rule \"opt\" is exact-only (mode must be \"exact\")"
     | Opt, _, c when c > 0. -> Error "rule \"opt\" does not fold a crash rate"
     | (Threshold | Oblivious), Exact, c when c > 0. ->
-      Error "crash > 0 requires mode \"grid\" (the crash fold integrates over the input cube)"
+      Error
+        "crash > 0 requires mode \"grid\" (the exact crash fold) or \"mc\" (the batch sampling \
+         kernel)"
     | Threshold, Exact, _ when n > max_n_threshold_exact ->
       Error
         (Printf.sprintf "threshold exact is O(3^n); n = %d exceeds %d (use mode \"grid\")" n
@@ -141,7 +159,12 @@ let cache_key r =
   let params =
     String.concat "," (Array.to_list (Array.map (Printf.sprintf "%.17g") r.params))
   in
-  let mode = match r.mode with Exact -> "exact" | Grid p -> Printf.sprintf "grid:%d" p in
+  let mode =
+    match r.mode with
+    | Exact -> "exact"
+    | Grid p -> Printf.sprintf "grid:%d" p
+    | Mc { samples; seed } -> Printf.sprintf "mc:%d:%d" samples seed
+  in
   Printf.sprintf "v1|rule=%s|n=%d|delta=%s|params=%s|mode=%s|crash=%.17g" (rule_to_string r.rule)
     r.n (Rat.to_string r.delta) params mode r.crash
 
@@ -197,3 +220,32 @@ let solve ?domains ~deadline_mono_s r =
       else Engine.win_probability_grid ~points ~cancel ?domains ~delta:delta_f pattern protocol
     in
     { p; detail = [ ("points", Jsonx.Num (float_of_int points)) ] }
+  | (Threshold | Oblivious), Mc { samples; seed } ->
+    (* Batch-kernel estimation at a client-pinned seed.  Runs sequentially
+       on purpose — ?domains is NOT forwarded — so the answer is a pure
+       function of the request and the cache stays byte-stable across
+       server -j settings.  The sample cap bounds the run well under a
+       second, so like the exact pipelines it only checks the deadline up
+       front. *)
+    check_not_expired ~deadline_mono_s;
+    let pattern = Comm_pattern.none ~n:r.n in
+    let protocol =
+      match r.rule with
+      | Threshold -> Dist_protocol.single_threshold r.params
+      | _ -> Dist_protocol.oblivious r.params
+    in
+    let rng = Rng.create ~seed in
+    let e =
+      if r.crash > 0. then
+        Fault_engine.win_probability_mc ~kernel:true ~rng ~samples
+          ~faults:(Fault_model.crash_only r.crash) ~delta:delta_f pattern protocol
+      else Engine.win_probability_mc ~kernel:true ~rng ~samples ~delta:delta_f pattern protocol
+    in
+    let ci_lo, ci_hi = e.Mc.ci95 in
+    {
+      p = e.Mc.mean;
+      detail =
+        [ ("samples", Jsonx.Num (float_of_int samples));
+          ("seed", Jsonx.Num (float_of_int seed)); ("stderr", Jsonx.Num e.Mc.stderr);
+          ("ci_lo", Jsonx.Num ci_lo); ("ci_hi", Jsonx.Num ci_hi) ];
+    }

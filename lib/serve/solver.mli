@@ -6,24 +6,31 @@
     {v {"rule": "threshold" | "oblivious" | "opt",
   "n": 4, "delta": "4/3",            // string rational or number; default n/3
   "params": [0.62] | 0.62 | [...],   // scalar/1-vector expands to n; default 0.5
-  "mode": "exact" | "grid",          // default "exact"
-  "points": 32,                      // grid resolution per dimension
-  "crash": 0.1,                      // fold a crash rate in (grid mode only)
+  "mode": "exact" | "grid" | "mc",   // default "exact"
+  "points": 32,                      // grid resolution per dimension (grid only)
+  "samples": 100000, "seed": 42,     // mc only; samples capped, seed pins the answer
+  "crash": 0.1,                      // fold a crash rate in (grid or mc mode)
   "budget_ms": 2000} v}
 
     [threshold]/[oblivious] evaluate the paper's Theorem 5.1 / 4.1 closed
-    forms ([exact]) or the engine's midpoint-grid integration ([grid],
-    required when [crash > 0] — the fold lives in
-    {!Fault_engine.win_probability_grid}); [opt] runs the certified
-    symbolic optimum {!Symbolic.optimal_sym_threshold}.
+    forms ([exact]), the engine's midpoint-grid integration ([grid]), or a
+    seed-pinned batch-kernel Monte-Carlo estimate ([mc], riding
+    {!Mc_kernel}; [crash > 0] needs [grid] or [mc]); [opt] runs the
+    certified symbolic optimum {!Symbolic.optimal_sym_threshold}.
 
     {!solve} is deadline-aware: grid sweeps get a per-cell cooperative
     cancel hook and raise {!Engine.Cancelled} with partial progress when
-    the budget expires; single-shot exact pipelines check the deadline
-    before starting (mid-flight they are covered by the serve watchdog). *)
+    the budget expires; single-shot exact pipelines (including [mc],
+    whose sample cap bounds its runtime) check the deadline before
+    starting (mid-flight they are covered by the serve watchdog). *)
 
 type rule = Threshold | Oblivious | Opt
-type mode = Exact | Grid of int  (** points per dimension *)
+
+type mode =
+  | Exact
+  | Grid of int  (** points per dimension *)
+  | Mc of { samples : int; seed : int }
+      (** seed-pinned batch-kernel Monte-Carlo ({!Mc_kernel}) *)
 
 type req = {
   rule : rule;
@@ -68,7 +75,10 @@ val solve : ?domains:int -> deadline_mono_s:float -> req -> answer
     {!cache_key} stays [domains]-independent by construction.  Grid
     cancellation still fires under sharding, with merged progress across
     leases.  The [opt] symbolic pipeline and the n+1-term oblivious
-    closed form stay single-threaded.
+    closed form stay single-threaded, and [mc] runs the batch kernel
+    sequentially {e by design} ([domains] is not forwarded): a cached MC
+    answer must be a pure function of the request, byte-stable across
+    server [-j] settings.
     @raise Engine.Cancelled when the budget expires mid-sweep (or before
     an un-cancellable exact pipeline starts), with partial progress.
     @raise Invalid_argument on instance limits (grid too large). *)

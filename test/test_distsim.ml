@@ -363,6 +363,80 @@ let py91_tests =
 
 let gen_inputs n = QCheck.Gen.(list_repeat n (float_bound_exclusive 1.))
 
+(* ------------------------- batch kernel dispatch ------------------------- *)
+
+let engine_kernel_tests =
+  let n = 3 and delta = 1. in
+  let pattern = Comm_pattern.none ~n in
+  [
+    Alcotest.test_case "protocol constructors carry their local rule" `Quick (fun () ->
+      (match Dist_protocol.local_rule (Dist_protocol.single_threshold [| 0.1; 0.2; 0.3 |]) with
+      | Some (Dist_protocol.Local_threshold a) ->
+        Alcotest.(check (array (float 0.))) "thresholds" [| 0.1; 0.2; 0.3 |] a
+      | _ -> Alcotest.fail "single_threshold lost its local rule");
+      (match Dist_protocol.local_rule (Dist_protocol.fair_coin ~n) with
+      | Some (Dist_protocol.Local_oblivious a) ->
+        Alcotest.(check (array (float 0.))) "alphas" [| 0.5; 0.5; 0.5 |] a
+      | _ -> Alcotest.fail "fair_coin lost its local rule");
+      (match Dist_protocol.local_rule (Dist_protocol.common_threshold ~n 0.62) with
+      | Some (Dist_protocol.Local_threshold _) -> ()
+      | _ -> Alcotest.fail "common_threshold lost its local rule");
+      (* protocols whose decisions read the view have no local-rule form *)
+      let custom = Dist_protocol.make ~name:"custom" (fun _ -> 0.5) in
+      Alcotest.(check bool) "make is view-dependent" true
+        (Dist_protocol.local_rule custom = None);
+      let wt =
+        Dist_protocol.weighted_threshold
+          ~weights:(Array.make n (Array.make n 0.3))
+          ~thresholds:(Array.make n 0.5)
+      in
+      let fb = Dist_protocol.with_fallback ~expected:(Comm_pattern.full ~n) wt in
+      Alcotest.(check bool) "with_fallback drops the local rule" true
+        (Dist_protocol.local_rule fb = None);
+      (* sanitized wraps the decision function but keeps the rule data *)
+      let s = Dist_protocol.sanitized (Dist_protocol.fair_coin ~n) in
+      Alcotest.(check bool) "sanitized preserves the local rule" true
+        (Dist_protocol.local_rule s <> None));
+    Alcotest.test_case "kernel MC agrees with grid and scalar MC" `Quick (fun () ->
+      let protocol = Dist_protocol.common_threshold ~n 0.62 in
+      let exact = Threshold.winning_probability_sym ~n ~delta 0.62 in
+      let est =
+        Engine.win_probability_mc ~kernel:true ~rng:(Rng.create ~seed:61) ~samples:150_000
+          ~delta pattern protocol
+      in
+      Alcotest.(check bool) "agrees with the closed form" true (Mc.agrees est exact);
+      let est_j j =
+        Engine.win_probability_mc ~kernel:true ~domains:j ~rng:(Rng.create ~seed:62)
+          ~samples:40_000 ~delta pattern protocol
+      in
+      let e1 = est_j 1 in
+      List.iter
+        (fun j ->
+          Alcotest.(check (float 0.)) (Printf.sprintf "bit-identical j=%d" j) e1.Mc.mean
+            (est_j j).Mc.mean)
+        [ 2; 4 ]);
+    Alcotest.test_case "kernel requests fail loudly when ineligible" `Quick (fun () ->
+      let custom = Dist_protocol.make ~name:"view-reader" (fun _ -> 0.5) in
+      Alcotest.check_raises "no local rule"
+        (Invalid_argument
+           "Engine.win_probability_mc: protocol \"view-reader\" has no local rule (only the \
+            oblivious/threshold families ride the batch kernel)")
+        (fun () ->
+          ignore
+            (Engine.win_probability_mc ~kernel:true ~rng:(Rng.create ~seed:63) ~samples:100
+               ~delta pattern custom));
+      Alcotest.check_raises "custom sampler"
+        (Invalid_argument
+           "Engine.win_probability_mc: ~kernel assumes the paper's uniform input model (drop \
+            the custom sampler)")
+        (fun () ->
+          ignore
+            (Engine.win_probability_mc ~kernel:true
+               ~sampler:(fun rng -> Rng.float01 rng *. 0.5)
+               ~rng:(Rng.create ~seed:64) ~samples:100 ~delta pattern
+               (Dist_protocol.common_threshold ~n 0.62))));
+  ]
+
 let engine_props =
   [
     qtest "win_probability_given in [0,1]"
@@ -397,5 +471,6 @@ let () =
       ("engine", engine_tests);
       ("grid-par", grid_par_tests);
       ("py91", py91_tests);
+      ("engine-kernel", engine_kernel_tests);
       ("engine-prop", engine_props);
     ]

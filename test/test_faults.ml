@@ -369,6 +369,68 @@ let combinator_tests =
           true (contains msg "oblivious")));
   ]
 
+(* ------------------------- batch kernel path ------------------------- *)
+
+let kernel_tests =
+  let pattern = Comm_pattern.none ~n:3 in
+  let delta = 1. in
+  (* MC vs the 64-point exact fold: inside the Wilson CI, or within the
+     grid's own midpoint discretization allowance (same rule Degradation
+     uses for its baseline check) *)
+  let agrees_with_fold est fold = Mc.agrees est fold || Float.abs (est.Mc.mean -. fold) <= 0.5 /. 64. in
+  [
+    Alcotest.test_case "kernel crash estimates match the exact fold" `Quick (fun () ->
+      let protocol = Dist_protocol.common_threshold ~n:3 0.62 in
+      List.iter
+        (fun mode ->
+          let faults = Fault_model.crash_only ~mode 0.2 in
+          let est =
+            Fault_engine.win_probability_mc ~kernel:true ~rng:(Rng.create ~seed:71)
+              ~samples:120_000 ~faults ~delta pattern protocol
+          in
+          let fold =
+            Fault_engine.win_probability_grid ~points:64 ~faults ~delta pattern protocol
+          in
+          Alcotest.(check bool)
+            (Fault_model.to_string faults)
+            true (agrees_with_fold est fold))
+        [ Fault_model.Drop; Fault_model.Default_bin 0; Fault_model.Default_bin 1 ]);
+    Alcotest.test_case "noise and link faults are inert for oblivious rules" `Quick (fun () ->
+      (* noise perturbs only the value a rule reads; an oblivious rule reads
+         nothing, and local rules never see other players, so link loss and
+         stale reads cannot move the estimate either *)
+      let exact = Oblivious.winning_probability_uniform ~n:3 ~delta in
+      let faults = Fault_model.make ~noise:0.3 ~link_loss:0.4 ~stale:0.3 () in
+      let est =
+        Fault_engine.win_probability_mc ~kernel:true ~rng:(Rng.create ~seed:72) ~samples:150_000
+          ~faults ~delta pattern (Dist_protocol.fair_coin ~n:3)
+      in
+      Alcotest.(check bool) "fair coin unmoved" true (Mc.agrees est exact));
+    Alcotest.test_case "kernel fault estimates are worker-count bit-identical" `Quick (fun () ->
+      let protocol = Dist_protocol.common_threshold ~n:3 0.62 in
+      let faults = Fault_model.make ~crash:0.15 ~noise:0.1 ~jitter:0.2 () in
+      let est j =
+        Fault_engine.win_probability_mc ~kernel:true ~domains:j ~rng:(Rng.create ~seed:73)
+          ~samples:40_000 ~faults ~delta pattern protocol
+      in
+      let e1 = est 1 in
+      List.iter
+        (fun j ->
+          Alcotest.(check (float 0.)) (Printf.sprintf "j=%d" j) e1.Mc.mean (est j).Mc.mean)
+        [ 2; 4 ]);
+    Alcotest.test_case "kernel requests reject custom samplers" `Quick (fun () ->
+      Alcotest.check_raises "sampler"
+        (Invalid_argument
+           "Fault_engine.win_probability_mc: ~kernel assumes the paper's uniform input model \
+            (drop the custom sampler)")
+        (fun () ->
+          ignore
+            (Fault_engine.win_probability_mc ~kernel:true
+               ~sampler:(fun rng -> Rng.float01 rng *. 0.5)
+               ~rng:(Rng.create ~seed:74) ~samples:100 ~faults:Fault_model.none ~delta pattern
+               (Dist_protocol.fair_coin ~n:3))));
+  ]
+
 (* ------------------------- Degradation ------------------------- *)
 
 let degradation_tests =
@@ -397,6 +459,37 @@ let degradation_tests =
           (Option.get p0.Degradation.exact)
       | [] -> Alcotest.fail "no points");
       Alcotest.(check bool) "monotone" true (Degradation.monotone_nonincreasing report));
+    Alcotest.test_case "kernel sweep: baseline agrees, points match their folds" `Quick
+      (fun () ->
+      let pattern = Comm_pattern.none ~n:3 in
+      let protocol = Dist_protocol.common_threshold ~n:3 (1. -. (1. /. sqrt 7.)) in
+      let report =
+        Degradation.sweep ~kernel:true ~grid_points:64 ~rng:(Rng.create ~seed:42)
+          ~samples:30_000 ~rates:[ 0.; 0.1; 0.25 ]
+          ~model_of:(fun r -> Fault_model.crash_only ~mode:(Fault_model.Default_bin 0) r)
+          ~delta:1. pattern protocol
+      in
+      Alcotest.(check bool) "baseline agrees" true report.Degradation.baseline_agrees;
+      List.iter
+        (fun (p : Degradation.point) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "rate %.2f within CI of its exact fold" p.Degradation.rate)
+            true
+            (Mc.agrees p.Degradation.estimate (Option.get p.Degradation.exact)))
+        report.Degradation.points;
+      Alcotest.(check bool) "monotone" true (Degradation.monotone_nonincreasing report);
+      (* a kernel sweep is reproducible per seed like any other *)
+      let report' =
+        Degradation.sweep ~kernel:true ~grid_points:64 ~rng:(Rng.create ~seed:42)
+          ~samples:30_000 ~rates:[ 0.; 0.1; 0.25 ]
+          ~model_of:(fun r -> Fault_model.crash_only ~mode:(Fault_model.Default_bin 0) r)
+          ~delta:1. pattern protocol
+      in
+      List.iter2
+        (fun (x : Degradation.point) (y : Degradation.point) ->
+          Alcotest.(check (float 0.)) "identical MC means" x.Degradation.estimate.Mc.mean
+            y.Degradation.estimate.Mc.mean)
+        report.Degradation.points report'.Degradation.points);
     Alcotest.test_case "sweep is reproducible per seed" `Quick (fun () ->
       let pattern = Comm_pattern.none ~n:3 in
       let protocol = Dist_protocol.fair_coin ~n:3 in
@@ -563,6 +656,7 @@ let () =
       ("model", model_tests);
       ("engine", engine_tests);
       ("combinators", combinator_tests);
+      ("kernel", kernel_tests);
       ("degradation", degradation_tests);
       ("fold-par", fold_par_tests);
       ("cli", cli_tests);

@@ -319,6 +319,267 @@ let stats_tests =
       Alcotest.(check bool) "mean near 1/2" true (Mc.agrees est 0.5));
   ]
 
+(* ------------------- Stats accumulator edge cases ------------------- *)
+
+(* Pins for the NaN/validation fixes that rode along with the batch
+   kernel: these are the exact behaviours the kernel's fused accumulation
+   relies on. *)
+let stats_edge_tests =
+  [
+    Alcotest.test_case "histogram routes non-finite samples to outliers" `Quick (fun () ->
+      (* NaN fails both range comparisons; pre-fix it fell through
+         int_of_float and silently landed in bin 0 *)
+      let h = Stats.histogram_empty ~bins:4 ~lo:0. ~hi:1. in
+      List.iter
+        (Stats.histogram_observe h)
+        [ Float.nan; Float.infinity; Float.neg_infinity; -0.25; 1.25; 0.125 ];
+      Alcotest.(check int) "total counts every observation" 6 h.Stats.total;
+      Alcotest.(check int) "all non-finite and out-of-range are outliers" 5 h.Stats.outliers;
+      Alcotest.(check int) "bin 0 holds only the genuine sample" 1 h.Stats.counts.(0);
+      Alcotest.(check int) "no bin beyond it" 0
+        (h.Stats.counts.(1) + h.Stats.counts.(2) + h.Stats.counts.(3));
+      let harr = Stats.histogram ~bins:4 ~lo:0. ~hi:1. [| Float.nan |] in
+      Alcotest.(check int) "array constructor agrees" 1 harr.Stats.outliers);
+    Alcotest.test_case "wilson_interval validates its counts by name" `Quick (fun () ->
+      Alcotest.check_raises "negative successes"
+        (Invalid_argument "Stats.wilson_interval: successes = -1 outside [0, trials = 10]")
+        (fun () -> ignore (Stats.wilson_interval ~successes:(-1) ~trials:10 ()));
+      Alcotest.check_raises "successes > trials"
+        (Invalid_argument "Stats.wilson_interval: successes = 11 outside [0, trials = 10]")
+        (fun () -> ignore (Stats.wilson_interval ~successes:11 ~trials:10 ()));
+      Alcotest.check_raises "zero trials" (Invalid_argument "Stats.wilson_interval: trials")
+        (fun () -> ignore (Stats.wilson_interval ~successes:0 ~trials:0 ()));
+      (* the full-range cases remain legal *)
+      let lo, hi = Stats.wilson_interval ~successes:10 ~trials:10 () in
+      Alcotest.(check bool) "degenerate p=1 stays in [0,1]" true (lo >= 0. && hi <= 1.));
+    Alcotest.test_case "histogram accessors name the bad bin" `Quick (fun () ->
+      let h = Stats.histogram ~bins:4 ~lo:0. ~hi:1. [| 0.5 |] in
+      Alcotest.check_raises "density past the end"
+        (Invalid_argument "Stats.histogram_density: bin 4 outside [0, 4)") (fun () ->
+          ignore (Stats.histogram_density h 4));
+      Alcotest.check_raises "negative center"
+        (Invalid_argument "Stats.bin_center: bin -1 outside [0, 4)") (fun () ->
+          ignore (Stats.bin_center h (-1)));
+      Alcotest.(check (float 1e-12)) "valid bin still works" 0.875 (Stats.bin_center h 3));
+    Alcotest.test_case "of_moments rebuilds Welford cells bit-for-bit" `Quick (fun () ->
+      (* mirror the kernel's unboxed update sequence and check the rebuilt
+         accumulator is indistinguishable from feeding Stats.add *)
+      let data = [| 1.0; 2.5; -3.0; 7.5; 0.25; 11.0 |] in
+      let n = ref 0 and mean = ref 0. and m2 = ref 0. in
+      Array.iter
+        (fun x ->
+          incr n;
+          let d = x -. !mean in
+          mean := !mean +. (d /. float_of_int !n);
+          m2 := !m2 +. (d *. (x -. !mean)))
+        data;
+      let rebuilt = Stats.of_moments ~count:!n ~mean:!mean ~m2:!m2 in
+      let direct = Stats.of_array data in
+      Alcotest.(check int) "count" (Stats.count direct) (Stats.count rebuilt);
+      Alcotest.(check (float 0.)) "mean" (Stats.mean direct) (Stats.mean rebuilt);
+      Alcotest.(check (float 0.)) "variance" (Stats.variance direct) (Stats.variance rebuilt);
+      Alcotest.(check int) "count:0 is empty" 0
+        (Stats.count (Stats.of_moments ~count:0 ~mean:5. ~m2:3.));
+      Alcotest.check_raises "negative count"
+        (Invalid_argument "Stats.of_moments: count must be >= 0") (fun () ->
+          ignore (Stats.of_moments ~count:(-1) ~mean:0. ~m2:0.)));
+  ]
+
+(* ------------------------- Rng fill streams ------------------------- *)
+
+let fill_tests =
+  [
+    Alcotest.test_case "fill is deterministic and advances the parent by 2" `Quick (fun () ->
+      let a = Rng.create ~seed:77 and b = Rng.create ~seed:77 in
+      let fa = Rng.fill_of a in
+      (* manually advancing the twin by two draws lands on the same state *)
+      ignore (Rng.next_int64 b);
+      ignore (Rng.next_int64 b);
+      Alcotest.(check int64) "parent advanced by exactly two draws" (Rng.next_int64 b)
+        (Rng.next_int64 a);
+      let fa' = Rng.fill_of (Rng.create ~seed:77) in
+      for i = 1 to 100 do
+        Alcotest.(check (float 0.))
+          (Printf.sprintf "draw %d" i)
+          (Rng.fill_float fa') (Rng.fill_float fa)
+      done);
+    Alcotest.test_case "batch fill equals repeated scalar draws" `Quick (fun () ->
+      let scalar = Rng.fill_of (Rng.create ~seed:99) in
+      let batch = Rng.fill_of (Rng.create ~seed:99) in
+      let buf = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 64 in
+      (* two disjoint ranges: the stream must continue across calls *)
+      Rng.fill_float01 batch buf ~pos:0 ~len:40;
+      Rng.fill_float01 batch buf ~pos:40 ~len:24;
+      for i = 0 to 63 do
+        Alcotest.(check (float 0.)) (Printf.sprintf "index %d" i) (Rng.fill_float scalar) buf.{i}
+      done);
+    Alcotest.test_case "fill range and moments" `Quick (fun () ->
+      let f = Rng.fill_of (Rng.create ~seed:4242) in
+      let acc = ref Stats.empty in
+      let deciles = Array.make 10 0 in
+      for _ = 1 to 100_000 do
+        let v = Rng.fill_float f in
+        if v < 0. || v >= 1. then Alcotest.fail "out of range";
+        deciles.(int_of_float (v *. 10.)) <- deciles.(int_of_float (v *. 10.)) + 1;
+        acc := Stats.add !acc v
+      done;
+      Alcotest.(check (float 0.01)) "mean" 0.5 (Stats.mean !acc);
+      Alcotest.(check (float 0.01)) "variance" (1. /. 12.) (Stats.variance !acc);
+      (* the 62-bit truncation bug left deciles 5-9 empty; pin uniformity *)
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check bool) (Printf.sprintf "decile %d populated" i) true
+            (abs (c - 10_000) < 600))
+        deciles);
+    Alcotest.test_case "fill_float01 rejects bad ranges" `Quick (fun () ->
+      let f = Rng.fill_of (Rng.create ~seed:1) in
+      let buf = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 8 in
+      List.iter
+        (fun (pos, len) ->
+          match Rng.fill_float01 f buf ~pos ~len with
+          | () -> Alcotest.fail (Printf.sprintf "pos=%d len=%d accepted" pos len)
+          | exception Invalid_argument _ -> ())
+        [ (-1, 4); (0, 9); (6, 3); (0, -1) ];
+      (* len = 0 is a legal no-op *)
+      Rng.fill_float01 f buf ~pos:8 ~len:0);
+  ]
+
+(* ------------------------- Mc_kernel ------------------------- *)
+
+(* Agreement pins run at fixed seeds, so they are deterministic: the
+   Wilson CI checks were verified to hold once and stay reproducible.
+   z = 3.29 (99.9%) so the pins survive retuning the fill stream without
+   re-rolling seeds. *)
+let kernel_tests =
+  let in_ci r exact =
+    let lo, hi =
+      Stats.wilson_interval ~z:3.29 ~successes:r.Mc_kernel.wins ~trials:r.Mc_kernel.samples ()
+    in
+    lo <= exact && exact <= hi
+  in
+  [
+    Alcotest.test_case "threshold kernel matches the exact closed form" `Quick (fun () ->
+      let k = Mc_kernel.make ~n:3 ~delta:1. (Mc_kernel.Threshold (Array.make 3 0.62)) in
+      let r = Mc_kernel.run ~rng:(Rng.create ~seed:1001) ~samples:200_000 k in
+      let exact = Threshold.winning_probability_sym ~n:3 ~delta:1. 0.62 in
+      Alcotest.(check int) "sample count" 200_000 r.Mc_kernel.samples;
+      Alcotest.(check bool) "exact value inside the Wilson CI" true (in_ci r exact));
+    Alcotest.test_case "oblivious kernel matches the exact closed form" `Quick (fun () ->
+      let k = Mc_kernel.make ~n:4 ~delta:(4. /. 3.) (Mc_kernel.Oblivious (Array.make 4 0.5)) in
+      let r = Mc_kernel.run ~rng:(Rng.create ~seed:1002) ~samples:200_000 k in
+      let exact = Oblivious.winning_probability_uniform ~n:4 ~delta:(4. /. 3.) in
+      Alcotest.(check bool) "exact value inside the Wilson CI" true (in_ci r exact));
+    Alcotest.test_case "kernel and scalar paths agree through Mc.probability" `Quick (fun () ->
+      let tau = Array.make 3 0.62 in
+      let k = Mc_kernel.make ~n:3 ~delta:1. (Mc_kernel.Threshold tau) in
+      let play rng =
+        let l0 = ref 0. and l1 = ref 0. in
+        for i = 0 to 2 do
+          let x = Rng.float01 rng in
+          if x <= tau.(i) then l0 := !l0 +. x else l1 := !l1 +. x
+        done;
+        !l0 <= 1. && !l1 <= 1.
+      in
+      let est_k = Mc.probability ~kernel:k ~rng:(Rng.create ~seed:7) ~samples:150_000 play in
+      let est_s = Mc.probability ~rng:(Rng.create ~seed:7) ~samples:150_000 play in
+      let exact = Threshold.winning_probability_sym ~n:3 ~delta:1. 0.62 in
+      Alcotest.(check bool) "kernel agrees with exact" true (Mc.agrees est_k exact);
+      Alcotest.(check bool) "scalar agrees with exact" true (Mc.agrees est_s exact);
+      Alcotest.(check int) "same sample count" est_s.Mc.samples est_k.Mc.samples);
+    Alcotest.test_case "run_par is bit-identical across domains 1/2/4" `Quick (fun () ->
+      let k =
+        Mc_kernel.make ~n:3 ~delta:1.
+          ~fault:(Mc_kernel.fault ~crash_rate:0.1 ~crash_bin:0 ~noise:0.05 ~jitter:0.1 ())
+          (Mc_kernel.Threshold (Array.make 3 0.62))
+      in
+      let go j =
+        Mc_kernel.run_par ~hist:(8, 0., 2.) ~loads:true ~domains:j ~rng:(Rng.create ~seed:31)
+          ~samples:60_000 k
+      in
+      let r1 = go 1 in
+      List.iter
+        (fun j ->
+          let r = go j in
+          Alcotest.(check int) (Printf.sprintf "wins j=%d" j) r1.Mc_kernel.wins r.Mc_kernel.wins;
+          Alcotest.(check int) (Printf.sprintf "over0 j=%d" j) r1.Mc_kernel.over0 r.Mc_kernel.over0;
+          Alcotest.(check int) (Printf.sprintf "over1 j=%d" j) r1.Mc_kernel.over1 r.Mc_kernel.over1;
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "loads mean j=%d" j)
+            (Stats.mean r1.Mc_kernel.loads) (Stats.mean r.Mc_kernel.loads);
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "loads variance j=%d" j)
+            (Stats.variance r1.Mc_kernel.loads)
+            (Stats.variance r.Mc_kernel.loads);
+          match (r1.Mc_kernel.hist, r.Mc_kernel.hist) with
+          | Some h1, Some h ->
+            Alcotest.(check (array int)) (Printf.sprintf "hist j=%d" j) h1.Stats.counts
+              h.Stats.counts;
+            Alcotest.(check int) (Printf.sprintf "hist outliers j=%d" j) h1.Stats.outliers
+              h.Stats.outliers
+          | _ -> Alcotest.fail "histogram missing")
+        [ 2; 4 ]);
+    Alcotest.test_case "degenerate crash faults have closed forms" `Quick (fun () ->
+      (* crash_rate 1 + Drop: no load ever lands, every play wins *)
+      let all_drop =
+        Mc_kernel.make ~n:3 ~delta:1.
+          ~fault:(Mc_kernel.fault ~crash_rate:1. ~crash_bin:(-1) ())
+          (Mc_kernel.Threshold (Array.make 3 0.62))
+      in
+      let r = Mc_kernel.run ~rng:(Rng.create ~seed:41) ~samples:10_000 all_drop in
+      Alcotest.(check int) "all plays win" 10_000 r.Mc_kernel.wins;
+      (* crash_rate 1 + Default_bin 0: bin 0 holds the full Irwin-Hall sum,
+         so P(win) = P(X1+X2+X3 <= 1) = 1/6 *)
+      let all_bin0 =
+        Mc_kernel.make ~n:3 ~delta:1.
+          ~fault:(Mc_kernel.fault ~crash_rate:1. ~crash_bin:0 ())
+          (Mc_kernel.Threshold (Array.make 3 0.62))
+      in
+      let r0 = Mc_kernel.run ~rng:(Rng.create ~seed:42) ~samples:120_000 all_bin0 in
+      Alcotest.(check bool) "Irwin-Hall 1/6 inside the Wilson CI" true (in_ci r0 (1. /. 6.)));
+    Alcotest.test_case "fused loads and histogram account for every play" `Quick (fun () ->
+      let k = Mc_kernel.make ~n:3 ~delta:1. (Mc_kernel.Threshold (Array.make 3 0.62)) in
+      let r = Mc_kernel.run ~hist:(8, 0., 2.) ~loads:true ~rng:(Rng.create ~seed:51)
+          ~samples:50_000 k
+      in
+      Alcotest.(check int) "welford count" 50_000 (Stats.count r.Mc_kernel.loads);
+      (match r.Mc_kernel.hist with
+      | Some h -> Alcotest.(check int) "histogram total" 50_000 h.Stats.total
+      | None -> Alcotest.fail "histogram missing");
+      (* without the flags the accumulators stay empty/absent *)
+      let bare = Mc_kernel.run ~rng:(Rng.create ~seed:51) ~samples:1_000 k in
+      Alcotest.(check int) "no welford by default" 0 (Stats.count bare.Mc_kernel.loads);
+      Alcotest.(check bool) "no histogram by default" true (bare.Mc_kernel.hist = None));
+    Alcotest.test_case "spec and run validation" `Quick (fun () ->
+      let tau3 = Array.make 3 0.5 in
+      Alcotest.check_raises "n < 1" (Invalid_argument "Mc_kernel.make: n must be >= 1") (fun () ->
+        ignore (Mc_kernel.make ~n:0 ~delta:1. (Mc_kernel.Threshold [||])));
+      Alcotest.check_raises "delta <= 0"
+        (Invalid_argument "Mc_kernel.make: delta must be positive") (fun () ->
+          ignore (Mc_kernel.make ~n:3 ~delta:0. (Mc_kernel.Threshold tau3)));
+      Alcotest.check_raises "parameter arity"
+        (Invalid_argument "Mc_kernel.make: rule carries 2 parameters for n = 3 players")
+        (fun () -> ignore (Mc_kernel.make ~n:3 ~delta:1. (Mc_kernel.Threshold (Array.make 2 0.5))));
+      Alcotest.check_raises "non-finite parameter"
+        (Invalid_argument "Mc_kernel.make: parameter 1 is not finite (nan)") (fun () ->
+          ignore (Mc_kernel.make ~n:3 ~delta:1. (Mc_kernel.Threshold [| 0.5; Float.nan; 0.5 |])));
+      Alcotest.check_raises "crash_rate out of range"
+        (Invalid_argument "Mc_kernel.fault: crash_rate = 0x1.8p+0 is not in [0,1]") (fun () ->
+          ignore (Mc_kernel.fault ~crash_rate:1.5 ()));
+      Alcotest.check_raises "crash_bin out of range"
+        (Invalid_argument "Mc_kernel.fault: crash_bin = 2 (-1 drops the input, 0/1 reroute it)")
+        (fun () -> ignore (Mc_kernel.fault ~crash_bin:2 ()));
+      let k = Mc_kernel.make ~n:3 ~delta:1. (Mc_kernel.Threshold tau3) in
+      Alcotest.check_raises "negative samples"
+        (Invalid_argument "Mc_kernel.run: samples must be >= 0") (fun () ->
+          ignore (Mc_kernel.run ~rng:(Rng.create ~seed:1) ~samples:(-1) k));
+      Alcotest.check_raises "domains < 1"
+        (Invalid_argument "Mc_kernel.run_par: domains must be >= 1") (fun () ->
+          ignore (Mc_kernel.run_par ~domains:0 ~rng:(Rng.create ~seed:1) ~samples:10 k));
+      let z = Mc_kernel.run ~rng:(Rng.create ~seed:1) ~samples:0 k in
+      Alcotest.(check int) "samples:0 is empty" 0 z.Mc_kernel.samples;
+      Alcotest.(check int) "samples:0 has no wins" 0 z.Mc_kernel.wins);
+  ]
+
 (* ------------------------- Mc_par ------------------------- *)
 
 (* The determinism contract under test: for a fixed (seed, leases, samples)
@@ -512,6 +773,9 @@ let () =
       ("uniform-sum", uniform_sum_tests);
       ("uniform-sum-prop", uniform_sum_props);
       ("stats-mc", stats_tests);
+      ("stats-edge", stats_edge_tests);
+      ("rng-fill", fill_tests);
+      ("mc-kernel", kernel_tests);
       ("mc-par", mc_par_tests);
       ("par-fold", par_fold_tests);
     ]

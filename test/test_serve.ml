@@ -424,6 +424,70 @@ let solver_tests =
         (Float.abs (a.Solver.p -. Rat.to_float res.Piecewise.value) < 1e-12);
       checkb "opt exposes beta*" true
         (List.mem_assoc "beta_star_exact" a.Solver.detail));
+    Alcotest.test_case "mc mode: parse, cache key, deterministic kernel solve" `Quick (fun () ->
+      let far = Trace.now_mono_s () +. 60. in
+      (* defaults: 100k samples, seed 42 *)
+      let r = parse_ok "{\"rule\":\"threshold\",\"n\":3,\"params\":0.62,\"mode\":\"mc\"}" in
+      (match r.Solver.mode with
+      | Solver.Mc { samples; seed } ->
+        check Alcotest.int "default samples" 100_000 samples;
+        check Alcotest.int "default seed" 42 seed
+      | _ -> Alcotest.fail "mode should be mc");
+      (* validation: samples/seed belong to mc, opt is exact-only, caps hold *)
+      ignore (parse_err "{\"rule\":\"threshold\",\"n\":3,\"samples\":1000}");
+      ignore (parse_err "{\"rule\":\"threshold\",\"n\":3,\"seed\":7}");
+      ignore (parse_err "{\"rule\":\"opt\",\"n\":3,\"mode\":\"mc\"}");
+      ignore (parse_err "{\"rule\":\"threshold\",\"n\":3,\"mode\":\"mc\",\"points\":16}");
+      ignore
+        (parse_err "{\"rule\":\"threshold\",\"n\":3,\"mode\":\"mc\",\"samples\":3000000}");
+      (* crash > 0 is now satisfiable by mc as well as grid *)
+      ignore (parse_ok "{\"rule\":\"threshold\",\"n\":3,\"mode\":\"mc\",\"crash\":0.1}");
+      let e = parse_err "{\"rule\":\"threshold\",\"n\":3,\"crash\":0.1}" in
+      checkb "exact-mode crash error names both escapes" true
+        (contains e "grid" && contains e "mc");
+      (* the cache key pins (samples, seed) and ignores the budget *)
+      let k b = Solver.cache_key (parse_ok b) in
+      checkb "samples in key" true
+        (k "{\"rule\":\"threshold\",\"n\":3,\"mode\":\"mc\",\"samples\":1000}"
+        <> k "{\"rule\":\"threshold\",\"n\":3,\"mode\":\"mc\",\"samples\":2000}");
+      checkb "seed in key" true
+        (k "{\"rule\":\"threshold\",\"n\":3,\"mode\":\"mc\",\"seed\":1}"
+        <> k "{\"rule\":\"threshold\",\"n\":3,\"mode\":\"mc\",\"seed\":2}");
+      checkb "budget not in key" true
+        (k "{\"rule\":\"threshold\",\"n\":3,\"mode\":\"mc\"}"
+        = k "{\"rule\":\"threshold\",\"n\":3,\"mode\":\"mc\",\"budget_ms\":9}");
+      (* seed-pinned estimates: byte-stable across repeat solves and across
+         the server's -j setting (the solver runs the kernel sequentially by
+         design), statistically consistent with the closed form *)
+      let solve ?domains () =
+        Solver.solve ?domains ~deadline_mono_s:far
+          (parse_ok "{\"rule\":\"threshold\",\"n\":3,\"params\":0.62,\"mode\":\"mc\"}")
+      in
+      let a = solve () and b = solve () and c = solve ~domains:4 () in
+      checkb "repeat solves identical" true (a.Solver.p = b.Solver.p);
+      checkb "domains-independent" true (a.Solver.p = c.Solver.p);
+      let exact = Threshold.winning_probability_sym ~n:3 ~delta:1. 0.62 in
+      let ci l =
+        match List.assoc_opt l a.Solver.detail with
+        | Some (Jsonx.Num v) -> v
+        | _ -> Alcotest.fail (l ^ " missing from detail")
+      in
+      checkb "closed form inside the reported CI" true
+        (ci "ci_lo" <= exact && exact <= ci "ci_hi");
+      check Alcotest.int "samples echoed" 100_000 (int_of_float (ci "samples"));
+      (* the crash variant routes through the fault kernel and stays within
+         its exact 64-point fold allowance *)
+      let rc =
+        parse_ok
+          "{\"rule\":\"threshold\",\"n\":3,\"params\":0.62,\"mode\":\"mc\",\"crash\":0.2,\"samples\":120000}"
+      in
+      let ac = Solver.solve ~deadline_mono_s:far rc in
+      let fold =
+        Fault_engine.win_probability_grid ~points:64
+          ~faults:(Fault_model.crash_only 0.2) ~delta:1. (Comm_pattern.none ~n:3)
+          (Dist_protocol.single_threshold (Array.make 3 0.62))
+      in
+      checkb "crash mc near the exact fold" true (Float.abs (ac.Solver.p -. fold) < 0.02));
     Alcotest.test_case "answer json roundtrip" `Quick (fun () ->
       let a = { Solver.p = 0.625; detail = [ ("beta_star", Jsonx.Num 0.5) ] } in
       match Solver.answer_of_json (Solver.answer_to_json a) with
